@@ -1,0 +1,175 @@
+(* opdw command-line interface.
+
+   Subcommands:
+     explain  - optimize a query and print the plans (logical, serial,
+                parallel, DSQL)
+     run      - optimize and execute on a generated TPC-H appliance
+     memo     - dump the serial MEMO (optionally its XML encoding)
+     queries  - list the bundled workload queries
+
+   All subcommands operate against the TPC-H shell database; the query may
+   be given inline, via --query ID (e.g. Q20), or from a file. *)
+
+open Cmdliner
+
+let setup ~nodes ~sf = Opdw.Workload.tpch ~node_count:nodes ~sf ()
+
+let resolve_sql query_id sql_arg file =
+  match query_id, sql_arg, file with
+  | Some id, _, _ ->
+    (match Tpch.Queries.find id with
+     | Some q -> q.Tpch.Queries.sql
+     | None ->
+       Printf.eprintf "unknown query id %s (try: opdw_cli queries)\n" id;
+       exit 1)
+  | None, Some sql, _ -> sql
+  | None, None, Some f ->
+    let ic = open_in f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None, None, None ->
+    prerr_endline "give a query: positional SQL, --query ID, or --file F";
+    exit 1
+
+(* -- common options -- *)
+
+let nodes_t =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of compute nodes.")
+
+let sf_t =
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor (1.0 = full size).")
+
+let query_t =
+  Arg.(value & opt (some string) None
+       & info [ "q"; "query" ] ~docv:"ID" ~doc:"Bundled workload query id (e.g. Q20, P1).")
+
+let file_t =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read SQL from a file.")
+
+let sql_t =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL text.")
+
+let seed_t =
+  Arg.(value & flag & info [ "seed-collocated" ] ~doc:"Seed the MEMO with collocated join orders (paper sec. 3.1).")
+
+let budget_t =
+  Arg.(value & opt int 20000
+       & info [ "budget" ] ~docv:"TASKS" ~doc:"Serial exploration task budget (timeout).")
+
+let options_of ~nodes ~seed ~budget =
+  { (Opdw.default_options ~node_count:nodes) with
+    Opdw.seed_collocated = seed;
+    Opdw.serial =
+      { Serialopt.Optimizer.default_options with Serialopt.Optimizer.task_budget = budget } }
+
+(* -- explain -- *)
+
+let explain nodes sf query sql file seed budget verbose =
+  let w = setup ~nodes ~sf in
+  let text = resolve_sql query sql file in
+  let options = options_of ~nodes ~seed ~budget in
+  let r = Opdw.optimize ~options w.Opdw.Workload.shell text in
+  let reg = r.Opdw.memo.Memo.reg in
+  if verbose then begin
+    print_endline "== normalized logical tree ==";
+    print_endline (Algebra.Relop.to_string r.Opdw.algebrized.Algebra.Algebrizer.reg r.Opdw.normalized);
+    print_endline "\n== best serial plan ==";
+    (match r.Opdw.serial.Serialopt.Optimizer.best with
+     | Some p -> print_endline (Serialopt.Plan.to_string reg p)
+     | None -> print_endline "(none)");
+    print_newline ()
+  end;
+  print_endline (Opdw.explain r);
+  (match r.Opdw.baseline_plan with
+   | Some b ->
+     Printf.printf "\nbaseline (parallelized serial) DMS cost: %.4gs; PDW: %.4gs\n"
+       b.Pdwopt.Pplan.dms_cost (Opdw.plan r).Pdwopt.Pplan.dms_cost
+   | None -> ())
+
+let explain_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the logical tree and serial plan.")
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Optimize a query and print its plans.")
+    Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ verbose)
+
+(* -- run -- *)
+
+let run nodes sf query sql file seed budget limit =
+  let w = setup ~nodes ~sf in
+  let text = resolve_sql query sql file in
+  let options = options_of ~nodes ~seed ~budget in
+  let r = Opdw.optimize ~options w.Opdw.Workload.shell text in
+  let app = w.Opdw.Workload.app in
+  Engine.Appliance.reset_account app;
+  let res = Opdw.run app r in
+  let names = List.map fst (Opdw.output_columns r) in
+  print_endline (String.concat " | " names);
+  List.iteri
+    (fun i row ->
+       if i < limit then
+         print_endline
+           (String.concat " | "
+              (List.map Catalog.Value.to_string (Array.to_list row))))
+    res.Engine.Local.rows;
+  let total = List.length res.Engine.Local.rows in
+  if total > limit then Printf.printf "... (%d rows total)\n" total;
+  let a = app.Engine.Appliance.account in
+  Printf.printf
+    "\n%d rows; %d DMS steps; %.0f bytes moved; simulated response time %.4gs (DMS %.4gs)\n"
+    total a.Engine.Appliance.moves a.Engine.Appliance.bytes_moved
+    a.Engine.Appliance.sim_time a.Engine.Appliance.dms_time
+
+let run_cmd =
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"ROWS" ~doc:"Max rows to print.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
+    Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit)
+
+(* -- memo -- *)
+
+let memo nodes sf query sql file as_xml =
+  let w = setup ~nodes ~sf in
+  let text = resolve_sql query sql file in
+  let r = Opdw.optimize w.Opdw.Workload.shell text in
+  if as_xml then
+    print_string (match r.Opdw.memo_xml with Some x -> x | None -> "")
+  else
+    print_endline (Memo.to_string r.Opdw.memo)
+
+let memo_cmd =
+  let as_xml = Arg.(value & flag & info [ "xml" ] ~doc:"Print the XML interchange encoding.") in
+  Cmd.v (Cmd.info "memo" ~doc:"Dump the explored serial MEMO.")
+    Term.(const memo $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ as_xml)
+
+(* -- queries -- *)
+
+let queries () =
+  List.iter
+    (fun q -> Printf.printf "%-5s %s\n" q.Tpch.Queries.id q.Tpch.Queries.description)
+    Tpch.Queries.all
+
+let queries_cmd =
+  Cmd.v (Cmd.info "queries" ~doc:"List the bundled workload queries.")
+    Term.(const queries $ const ())
+
+let () =
+  let doc = "the opdw distributed query optimizer (SQL Server PDW reproduction)" in
+  let code =
+    try Cmd.eval ~catch:false (Cmd.group (Cmd.info "opdw_cli" ~doc) [ explain_cmd; run_cmd; memo_cmd; queries_cmd ])
+    with
+    | Sqlfront.Lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "SQL lexical error at offset %d: %s\n" pos msg; 1
+    | Sqlfront.Parser.Parse_error msg ->
+      Printf.eprintf "SQL parse error: %s\n" msg; 1
+    | Algebra.Algebrizer.Resolve_error msg ->
+      Printf.eprintf "name resolution error: %s\n" msg; 1
+    | Algebra.Algebrizer.Unsupported msg ->
+      Printf.eprintf "unsupported SQL construct: %s\n" msg; 1
+    | Pdwopt.Optimizer.No_plan msg ->
+      Printf.eprintf "optimization failed: %s\n" msg; 1
+  in
+  exit code

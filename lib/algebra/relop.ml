@@ -1,0 +1,128 @@
+(** Logical relational operators, as trees (the algebrizer output and the
+    normalized form inserted into the MEMO). *)
+
+type join_kind =
+  | Inner
+  | Left_outer
+  | Semi        (** left semi join: rows of left with a match in right *)
+  | Anti_semi   (** rows of left with no match in right *)
+  | Cross
+
+type sort_key = { key : Expr.t; desc : bool }
+
+type op =
+  | Get of {
+      table : string;              (** base table name in the shell db *)
+      alias : string;
+      cols : int array;            (** column ids, one per schema column *)
+    }
+  | Select of Expr.t               (** filter; 1 child *)
+  | Project of (int * Expr.t) list (** (output col id, defining expr); 1 child *)
+  | Join of { kind : join_kind; pred : Expr.t }   (** 2 children *)
+  | Group_by of {
+      keys : int list;
+      aggs : Expr.agg_def list;
+    }                              (** 1 child; keys=[] -> scalar aggregate *)
+  | Sort of { keys : sort_key list; limit : int option }  (** 1 child, root only *)
+  | Union_all                      (** 2 children; right child's outputs are
+                                       pre-projected onto the left's ids *)
+  | Empty of int list              (** zero rows with the given output columns *)
+
+type t = { op : op; children : t list }
+
+let mk op children = { op; children }
+let get ~table ~alias ~cols = mk (Get { table; alias; cols }) []
+let select pred child = mk (Select pred) [ child ]
+let project defs child = mk (Project defs) [ child ]
+let join kind pred left right = mk (Join { kind; pred }) [ left; right ]
+let group_by keys aggs child = mk (Group_by { keys; aggs }) [ child ]
+let sort keys limit child = mk (Sort { keys; limit }) [ child ]
+let union_all left right = mk Union_all [ left; right ]
+
+(** Output column ids, in order. *)
+let rec output_cols t : int list =
+  match t.op, t.children with
+  | Get { cols; _ }, _ -> Array.to_list cols
+  | Select _, [ c ] -> output_cols c
+  | Project defs, _ -> List.map fst defs
+  | Join { kind = (Semi | Anti_semi); _ }, [ l; _ ] -> output_cols l
+  | Join _, [ l; r ] -> output_cols l @ output_cols r
+  | Group_by { keys; aggs }, _ -> keys @ List.map (fun a -> a.Expr.agg_out) aggs
+  | Sort _, [ c ] -> output_cols c
+  | Union_all, [ l; _ ] -> output_cols l
+  | Empty cols, _ -> cols
+  | _ -> invalid_arg "Relop.output_cols: malformed tree"
+
+let output_col_set t = Registry.Col_set.of_list (output_cols t)
+
+(** Columns this node's own expressions reference (not children's outputs). *)
+let local_refs t =
+  match t.op with
+  | Get _ | Empty _ -> Registry.Col_set.empty
+  | Select pred -> Expr.cols pred
+  | Project defs -> Expr.cols_of_list (List.map snd defs)
+  | Join { pred; _ } -> Expr.cols pred
+  | Group_by { keys; aggs } ->
+    let acc = Registry.Col_set.of_list keys in
+    List.fold_left
+      (fun acc a -> match a.Expr.agg_arg with
+         | Some e -> Registry.Col_set.union acc (Expr.cols e)
+         | None -> acc)
+      acc aggs
+  | Sort { keys; _ } -> Expr.cols_of_list (List.map (fun k -> k.key) keys)
+  | Union_all -> Registry.Col_set.empty
+
+let op_name = function
+  | Get _ -> "Get" | Select _ -> "Select" | Project _ -> "Project"
+  | Join { kind = Inner; _ } -> "Join"
+  | Join { kind = Left_outer; _ } -> "LeftOuterJoin"
+  | Join { kind = Semi; _ } -> "SemiJoin"
+  | Join { kind = Anti_semi; _ } -> "AntiSemiJoin"
+  | Join { kind = Cross; _ } -> "CrossJoin"
+  | Group_by _ -> "GroupBy" | Sort _ -> "Sort" | Union_all -> "UnionAll"
+  | Empty _ -> "Empty"
+
+let rec pp reg ppf t =
+  let open Format in
+  let head =
+    match t.op with
+    | Get { table; alias; _ } ->
+      if String.lowercase_ascii table = String.lowercase_ascii alias then
+        Printf.sprintf "Get(%s)" table
+      else Printf.sprintf "Get(%s AS %s)" table alias
+    | Select pred -> Printf.sprintf "Select[%s]" (Expr.to_string reg pred)
+    | Project defs ->
+      let one (c, e) = Printf.sprintf "%s := %s" (Registry.label reg c) (Expr.to_string reg e) in
+      Printf.sprintf "Project[%s]" (String.concat ", " (List.map one defs))
+    | Join { kind; pred } ->
+      Printf.sprintf "%s[%s]"
+        (match kind with
+         | Inner -> "Join" | Left_outer -> "LeftOuterJoin" | Semi -> "SemiJoin"
+         | Anti_semi -> "AntiSemiJoin" | Cross -> "CrossJoin")
+        (Expr.to_string reg pred)
+    | Group_by { keys; aggs } ->
+      Printf.sprintf "GroupBy[keys=%s; %s]"
+        (String.concat "," (List.map (Registry.label reg) keys))
+        (String.concat ", " (List.map (Expr.agg_to_string_with (Registry.label reg)) aggs))
+    | Sort { keys; limit } ->
+      Printf.sprintf "Sort[%s%s]"
+        (String.concat ", "
+           (List.map
+              (fun k ->
+                 Expr.to_string reg k.key ^ (if k.desc then " DESC" else " ASC"))
+              keys))
+        (match limit with Some n -> Printf.sprintf "; TOP %d" n | None -> "")
+    | Union_all -> "UnionAll"
+    | Empty _ -> "Empty"
+  in
+  match t.children with
+  | [] -> fprintf ppf "%s" head
+  | children ->
+    fprintf ppf "@[<v 2>%s" head;
+    List.iter (fun c -> fprintf ppf "@,%a" (pp reg) c) children;
+    fprintf ppf "@]"
+
+let to_string reg t = Format.asprintf "%a" (pp reg) t
+
+(** Number of operator nodes in a tree. *)
+let rec size t = 1 + List.fold_left (fun a c -> a + size c) 0 t.children

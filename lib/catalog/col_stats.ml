@@ -1,0 +1,64 @@
+(** Per-column statistics held in the shell database. *)
+
+type t = {
+  ndv : float;            (** number of distinct (non-null) values *)
+  null_frac : float;      (** fraction of rows that are NULL *)
+  min_v : Value.t option;
+  max_v : Value.t option;
+  avg_width : float;      (** average stored width in bytes *)
+  histogram : Histogram.t option;
+}
+
+let make ?(ndv = 0.) ?(null_frac = 0.) ?min_v ?max_v ?(avg_width = 8.) ?histogram () =
+  { ndv; null_frac; min_v; max_v; avg_width; histogram }
+
+(** Derive column statistics directly from a histogram. *)
+let of_histogram ?(avg_width = 8.) h =
+  let total = Histogram.total_rows h in
+  { ndv = Histogram.ndv h;
+    null_frac = (if total > 0. then (total -. Histogram.non_null_rows h) /. total else 0.);
+    min_v = Histogram.min_value h;
+    max_v = Histogram.max_value h;
+    avg_width;
+    histogram = Some h }
+
+(** Compute stats from raw column values (one node's local statistics). *)
+let of_values ?(nbuckets = 32) ?(avg_width = 8.) values =
+  of_histogram ~avg_width (Histogram.build ~nbuckets values)
+
+(** Merge per-node local statistics into global statistics (paper §2.2). *)
+let merge parts =
+  match parts with
+  | [] -> make ()
+  | _ ->
+    let hists = List.filter_map (fun s -> s.histogram) parts in
+    let merged = if hists = [] then None else Some (Histogram.merge hists) in
+    let totals = List.fold_left (fun a s -> a +. Float.max s.ndv 1.) 0. parts in
+    let min_v =
+      List.filter_map (fun s -> s.min_v) parts
+      |> function [] -> None | l -> Some (List.fold_left (fun a v -> if Value.compare v a < 0 then v else a) (List.hd l) l)
+    in
+    let max_v =
+      List.filter_map (fun s -> s.max_v) parts
+      |> function [] -> None | l -> Some (List.fold_left (fun a v -> if Value.compare v a > 0 then v else a) (List.hd l) l)
+    in
+    let avg_width =
+      let n = float_of_int (List.length parts) in
+      List.fold_left (fun a s -> a +. s.avg_width) 0. parts /. n
+    in
+    let null_frac =
+      let n = float_of_int (List.length parts) in
+      List.fold_left (fun a s -> a +. s.null_frac) 0. parts /. n
+    in
+    let ndv =
+      match merged with
+      | Some h -> Histogram.ndv h
+      | None -> totals (* upper bound: sum of local NDVs *)
+    in
+    { ndv; null_frac; min_v; max_v; avg_width; histogram = merged }
+
+let pp ppf t =
+  Format.fprintf ppf "ndv=%g null_frac=%.3f min=%s max=%s width=%g" t.ndv t.null_frac
+    (match t.min_v with Some v -> Value.to_string v | None -> "-")
+    (match t.max_v with Some v -> Value.to_string v | None -> "-")
+    t.avg_width

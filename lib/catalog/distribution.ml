@@ -1,0 +1,30 @@
+(** How a user table is laid out across the appliance (paper §2.1): either
+    hash-partitioned on specified column(s) across the compute nodes, or
+    replicated on each compute node. *)
+
+type t =
+  | Hash_partitioned of string list  (** distribution column names, in order *)
+  | Replicated
+
+let hash_on cols = Hash_partitioned cols
+let replicated = Replicated
+
+let is_replicated = function Replicated -> true | Hash_partitioned _ -> false
+
+let columns = function
+  | Hash_partitioned cols -> cols
+  | Replicated -> []
+
+let to_string = function
+  | Hash_partitioned cols -> "HASH(" ^ String.concat ", " cols ^ ")"
+  | Replicated -> "REPLICATED"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  match a, b with
+  | Replicated, Replicated -> true
+  | Hash_partitioned x, Hash_partitioned y ->
+    (try List.for_all2 (fun a b -> String.lowercase_ascii a = String.lowercase_ascii b) x y
+     with Invalid_argument _ -> false)
+  | _ -> false

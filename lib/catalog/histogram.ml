@@ -1,0 +1,208 @@
+(** Equi-depth histograms.
+
+    These play the role of SQL Server statistics objects in the shell
+    database (paper §2.2): per-node local histograms are computed first and
+    then merged into global statistics. *)
+
+type bucket = {
+  lo : Value.t;     (** inclusive lower bound *)
+  hi : Value.t;     (** inclusive upper bound *)
+  rows : float;     (** rows in the bucket *)
+  ndv : float;      (** distinct values in the bucket *)
+}
+
+type t = {
+  buckets : bucket array;
+  null_rows : float;
+  total_rows : float;  (** including nulls *)
+}
+
+let empty = { buckets = [||]; null_rows = 0.; total_rows = 0. }
+
+let total_rows t = t.total_rows
+let non_null_rows t = t.total_rows -. t.null_rows
+
+(** Build an equi-depth histogram from a multiset of values. *)
+let build ?(nbuckets = 32) values =
+  let nulls, non_null = List.partition Value.is_null values in
+  let sorted = List.sort Value.compare non_null in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let null_rows = float_of_int (List.length nulls) in
+  if n = 0 then { empty with null_rows; total_rows = null_rows }
+  else begin
+    let nb = min nbuckets n in
+    let per = float_of_int n /. float_of_int nb in
+    let buckets = ref [] in
+    let start = ref 0 in
+    for b = 1 to nb do
+      let stop = if b = nb then n else int_of_float (Float.round (per *. float_of_int b)) in
+      let stop = max stop (!start + 1) in
+      let stop = min stop n in
+      (* never split a run of equal values across buckets (keeps per-bucket
+         NDV meaningful) *)
+      let stop = ref stop in
+      while !stop < n && !stop > 0 && Value.compare arr.(!stop) arr.(!stop - 1) = 0 do
+        incr stop
+      done;
+      let stop = !stop in
+      if !start < stop then begin
+        let lo = arr.(!start) and hi = arr.(stop - 1) in
+        (* count distinct within the (sorted) slice *)
+        let ndv = ref 1 in
+        for i = !start + 1 to stop - 1 do
+          if Value.compare arr.(i) arr.(i - 1) <> 0 then incr ndv
+        done;
+        buckets := { lo; hi; rows = float_of_int (stop - !start); ndv = float_of_int !ndv }
+                   :: !buckets;
+        start := stop
+      end
+    done;
+    { buckets = Array.of_list (List.rev !buckets);
+      null_rows;
+      total_rows = float_of_int n +. null_rows }
+  end
+
+(* Fraction of a bucket's row mass at or below [v], assuming a uniform spread
+   of values within the bucket. *)
+let bucket_fraction_le b v =
+  if Value.compare v b.lo < 0 then 0.
+  else if Value.compare v b.hi >= 0 then 1.
+  else
+    match b.lo, b.hi with
+    | (Value.Int _ | Value.Float _ | Value.Date _), (Value.Int _ | Value.Float _ | Value.Date _) ->
+      let lo = Value.to_float b.lo and hi = Value.to_float b.hi and x = Value.to_float v in
+      if hi <= lo then 1. else Float.max 0. (Float.min 1. ((x -. lo) /. (hi -. lo)))
+    | _ -> 0.5 (* strings: no linear interpolation; split the bucket *)
+
+(** Estimated number of rows equal to [v] (0 for NULL probes; use
+    [null_rows] for IS NULL). *)
+let rows_eq t v =
+  if Value.is_null v then 0.
+  else
+    Array.fold_left
+      (fun acc b ->
+         if Value.compare v b.lo >= 0 && Value.compare v b.hi <= 0 then
+           acc +. (b.rows /. Float.max 1. b.ndv)
+         else acc)
+      0. t.buckets
+
+(** Estimated number of rows with value <= v (strictly less if [strict]). *)
+let rows_le ?(strict = false) t v =
+  let le =
+    Array.fold_left (fun acc b -> acc +. (b.rows *. bucket_fraction_le b v)) 0. t.buckets
+  in
+  if strict then Float.max 0. (le -. rows_eq t v) else le
+
+(** Estimated rows with value >= v (strictly greater if [strict]). *)
+let rows_ge ?(strict = false) t v =
+  let nn = non_null_rows t in
+  if strict then Float.max 0. (nn -. rows_le t v)
+  else Float.max 0. (nn -. rows_le ~strict:true t v)
+
+let min_value t = if Array.length t.buckets = 0 then None else Some t.buckets.(0).lo
+let max_value t =
+  let n = Array.length t.buckets in
+  if n = 0 then None else Some t.buckets.(n - 1).hi
+
+let ndv t = Array.fold_left (fun acc b -> acc +. b.ndv) 0. t.buckets
+
+(** Merge per-node local histograms into a single global histogram
+    (paper §2.2). Bucket boundaries are unioned; overlapping buckets split
+    their mass linearly; the result is re-bucketized to [nbuckets]. *)
+let merge ?(nbuckets = 32) parts =
+  let parts = List.filter (fun h -> Array.length h.buckets > 0 || h.null_rows > 0.) parts in
+  match parts with
+  | [] -> empty
+  | _ ->
+    let null_rows = List.fold_left (fun a h -> a +. h.null_rows) 0. parts in
+    let all_buckets = List.concat_map (fun h -> Array.to_list h.buckets) parts in
+    if all_buckets = [] then { empty with null_rows; total_rows = null_rows }
+    else begin
+      (* Collect all boundary points, then apportion each source bucket's
+         mass into the refined intervals. *)
+      let bounds =
+        List.concat_map (fun b -> [ b.lo; b.hi ]) all_buckets
+        |> List.sort_uniq Value.compare
+      in
+      let bounds = Array.of_list bounds in
+      let nseg = max 1 (Array.length bounds - 1) in
+      let seg_rows = Array.make nseg 0. in
+      let seg_ndv = Array.make nseg 0. in
+      let point_rows = Hashtbl.create 16 in (* single-value buckets *)
+      List.iter
+        (fun b ->
+           if Value.compare b.lo b.hi = 0 then begin
+             let k = Value.to_string b.lo in
+             let prev = try Hashtbl.find point_rows k with Not_found -> (b.lo, 0., 0.) in
+             let _, r, d = prev in
+             Hashtbl.replace point_rows k (b.lo, r +. b.rows, Float.max d b.ndv)
+           end else begin
+             (* distribute over covered segments proportionally to overlap *)
+             let covered = ref [] in
+             for s = 0 to nseg - 1 do
+               let slo = bounds.(s) and shi = bounds.(s + 1) in
+               if Value.compare slo b.hi < 0 && Value.compare shi b.lo > 0 then
+                 covered := s :: !covered
+             done;
+             let covered = List.rev !covered in
+             let k = float_of_int (List.length covered) in
+             if k > 0. then
+               List.iter
+                 (fun s ->
+                    seg_rows.(s) <- seg_rows.(s) +. (b.rows /. k);
+                    seg_ndv.(s) <- seg_ndv.(s) +. (b.ndv /. k))
+                 covered
+           end)
+        all_buckets;
+      let segs = ref [] in
+      for s = nseg - 1 downto 0 do
+        if seg_rows.(s) > 0. then begin
+          (* summing per-node NDVs overcounts when shards share values; for
+             discrete domains the value span is a sound cap *)
+          let span =
+            match bounds.(s), bounds.(s + 1) with
+            | (Value.Int a | Value.Date a), (Value.Int b | Value.Date b) ->
+              Some (float_of_int (b - a + 1))
+            | _ -> None
+          in
+          let ndv = Float.max 1. seg_ndv.(s) in
+          let ndv = match span with Some sp -> Float.min ndv sp | None -> ndv in
+          segs := { lo = bounds.(s); hi = bounds.(s + 1); rows = seg_rows.(s); ndv }
+                  :: !segs
+        end
+      done;
+      Hashtbl.iter
+        (fun _ (v, r, d) ->
+           segs := { lo = v; hi = v; rows = r; ndv = Float.max 1. d } :: !segs)
+        point_rows;
+      let segs = List.sort (fun a b -> Value.compare a.lo b.lo) !segs in
+      (* Re-bucketize down to [nbuckets] by coalescing adjacent segments. *)
+      let total = List.fold_left (fun a b -> a +. b.rows) 0. segs in
+      let target = total /. float_of_int nbuckets in
+      let out = ref [] in
+      let cur = ref None in
+      let flush () = match !cur with Some b -> out := b :: !out; cur := None | None -> () in
+      List.iter
+        (fun seg ->
+           match !cur with
+           | None -> cur := Some seg
+           | Some b ->
+             if b.rows >= target then begin flush (); cur := Some seg end
+             else cur := Some { lo = b.lo; hi = seg.hi; rows = b.rows +. seg.rows; ndv = b.ndv +. seg.ndv })
+        segs;
+      flush ();
+      { buckets = Array.of_list (List.rev !out);
+        null_rows;
+        total_rows = total +. null_rows }
+    end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>histogram: %g rows (%g null), %d buckets@," t.total_rows
+    t.null_rows (Array.length t.buckets);
+  Array.iter
+    (fun b ->
+       Format.fprintf ppf "  [%s .. %s] rows=%g ndv=%g@," (Value.to_string b.lo)
+         (Value.to_string b.hi) b.rows b.ndv)
+    t.buckets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Table schemas stored in the shell database. *)
+
+type column = {
+  col_name : string;
+  col_type : Types.t;
+  col_width : int;      (** average stored width in bytes (feeds DMS costing) *)
+  nullable : bool;
+  is_pk : bool;         (** part of the table's primary key *)
+  references : (string * string) option;
+      (** declared foreign key: (table, column); referential integrity is
+          assumed to hold, enabling redundant-join elimination *)
+}
+
+type t = {
+  name : string;
+  columns : column array;
+}
+
+let column ?(nullable = false) ?width ?(is_pk = false) ?references name ty =
+  let col_width = match width with Some w -> w | None -> Types.default_width ty in
+  { col_name = name; col_type = ty; col_width; nullable; is_pk; references }
+
+let make name columns = { name; columns = Array.of_list columns }
+
+let find_col t name =
+  let n = Array.length t.columns in
+  let rec go i =
+    if i >= n then None
+    else if String.lowercase_ascii t.columns.(i).col_name = String.lowercase_ascii name
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let col t i = t.columns.(i)
+let arity t = Array.length t.columns
+
+(* Total average row width in bytes. *)
+let row_width t =
+  Array.fold_left (fun acc c -> acc + c.col_width) 0 t.columns
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s(" t.name;
+  Array.iteri
+    (fun i c ->
+       if i > 0 then Format.fprintf ppf ",@ ";
+       Format.fprintf ppf "%s %a" c.col_name Types.pp c.col_type)
+    t.columns;
+  Format.fprintf ppf ")@]"

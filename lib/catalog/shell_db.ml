@@ -1,0 +1,50 @@
+(** The shell database (paper §2.2): metadata and global statistics for every
+    table in the appliance, with no user data. It is the "single system
+    image" the compilation stack works against. *)
+
+type table = {
+  schema : Schema.t;
+  dist : Distribution.t;
+  mutable stats : Tbl_stats.t;
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+  node_count : int;  (** number of compute nodes in the appliance topology *)
+}
+
+let create ~node_count = { tables = Hashtbl.create 16; node_count }
+
+let node_count t = t.node_count
+
+let add_table t ?(stats = Tbl_stats.make ()) schema dist =
+  let tbl = { schema; dist; stats } in
+  Hashtbl.replace t.tables (String.lowercase_ascii schema.Schema.name) tbl;
+  tbl
+
+let find t name = Hashtbl.find_opt t.tables (String.lowercase_ascii name)
+
+let find_exn t name =
+  match find t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Shell_db.find_exn: unknown table %s" name)
+
+let set_stats t name stats =
+  match find t name with
+  | Some tbl -> tbl.stats <- stats
+  | None -> invalid_arg (Printf.sprintf "Shell_db.set_stats: unknown table %s" name)
+
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+
+let row_count tbl = Tbl_stats.row_count tbl.stats
+
+let col_stats tbl name = Tbl_stats.col tbl.stats name
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>shell database (%d compute nodes)@," t.node_count;
+  Hashtbl.iter
+    (fun _ tbl ->
+       Format.fprintf ppf "%a %a rows=%g@," Schema.pp tbl.schema Distribution.pp tbl.dist
+         (row_count tbl))
+    t.tables;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Table-level statistics: row count plus per-column stats, keyed by column
+    name (lowercased). *)
+
+type t = {
+  row_count : float;
+  columns : (string, Col_stats.t) Hashtbl.t;
+}
+
+let make ?(row_count = 0.) () = { row_count; columns = Hashtbl.create 16 }
+
+let set_col t name stats = Hashtbl.replace t.columns (String.lowercase_ascii name) stats
+
+let col t name = Hashtbl.find_opt t.columns (String.lowercase_ascii name)
+
+let row_count t = t.row_count
+
+(** Compute local statistics for one node's rows against a schema. *)
+let of_rows (schema : Schema.t) (rows : Value.t array list) =
+  let t = make ~row_count:(float_of_int (List.length rows)) () in
+  Array.iteri
+    (fun i c ->
+       let values = List.map (fun r -> r.(i)) rows in
+       let avg_width =
+         match values with
+         | [] -> float_of_int c.Schema.col_width
+         | _ ->
+           let s = List.fold_left (fun a v -> a + Value.width v) 0 values in
+           float_of_int s /. float_of_int (List.length values)
+       in
+       set_col t c.Schema.col_name (Col_stats.of_values ~avg_width values))
+    schema.Schema.columns;
+  t
+
+(** Merge per-node local table stats into global stats (paper §2.2: "local
+    statistics are first computed on each node ... and are then merged
+    together to derive global statistics"). *)
+let merge parts =
+  match parts with
+  | [] -> make ()
+  | first :: _ ->
+    let row_count = List.fold_left (fun a p -> a +. p.row_count) 0. parts in
+    let t = make ~row_count () in
+    Hashtbl.iter
+      (fun name _ ->
+         let per_node = List.filter_map (fun p -> Hashtbl.find_opt p.columns name) parts in
+         set_col t name (Col_stats.merge per_node))
+      first.columns;
+    t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>rows=%g@," t.row_count;
+  Hashtbl.iter (fun name cs -> Format.fprintf ppf "%s: %a@," name Col_stats.pp cs) t.columns;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** SQL data types supported by the opdw stack.
+
+    Widths are in bytes and feed the DMS cost model (paper §3.3.3: the row
+    width [w] multiplies global cardinality [Y] to give bytes moved). *)
+
+type t =
+  | Tint       (** 64-bit integer (covers int/bigint keys) *)
+  | Tfloat     (** double; also used for decimals in the simulator *)
+  | Tstring    (** varchar; per-column declared width *)
+  | Tbool
+  | Tdate      (** days since 1970-01-01, stored as int *)
+
+let equal (a : t) (b : t) = a = b
+
+(* Default storage width in bytes; varchar columns override it. *)
+let default_width = function
+  | Tint -> 8
+  | Tfloat -> 8
+  | Tstring -> 16
+  | Tbool -> 1
+  | Tdate -> 4
+
+let to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "varchar"
+  | Tbool -> "bool"
+  | Tdate -> "date"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Implicit numeric coercion: int expressions may appear where floats are
+   expected (e.g. [o_totalprice > 100]). *)
+let compatible a b =
+  equal a b
+  || (match a, b with
+      | (Tint | Tfloat), (Tint | Tfloat) -> true
+      | (Tint | Tdate), (Tint | Tdate) -> true
+      | _ -> false)

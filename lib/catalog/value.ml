@@ -1,0 +1,158 @@
+(** Runtime values: the cell type of every simulated table.
+
+    SQL [NULL] is represented explicitly; comparisons follow SQL three-valued
+    logic at the executor level (see {!Engine}), while [compare] below is a
+    total order used for sorting and data structures (NULLs sort first). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Types.Tint
+  | Float _ -> Some Types.Tfloat
+  | String _ -> Some Types.Tstring
+  | Bool _ -> Some Types.Tbool
+  | Date _ -> Some Types.Tdate
+
+let is_null = function Null -> true | _ -> false
+
+(* Rank used to totally order values of distinct types (only relevant for
+   heterogeneous sorts, which well-typed plans never produce). *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* ints and floats compare numerically *)
+  | Date _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Date x, Date y -> Int.compare x y
+  | a, b -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash x
+  | Float x ->
+    (* hash floats that are integral the same as the int, so mixed-type
+       equi-join keys route consistently *)
+    if Float.is_integer x then Hashtbl.hash (int_of_float x) else Hashtbl.hash x
+  | String s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+  | Date d -> Hashtbl.hash d
+
+(* -- Date arithmetic (civil-calendar algorithms, proleptic Gregorian) -- *)
+
+let days_from_civil ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (m + 9) mod 12 in
+  let doy = (153 * mp + 2) / 5 + d - 1 in
+  let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy in
+  era * 146097 + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - era * 146097 in
+  let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365 in
+  let y = yoe + era * 400 in
+  let doy = doe - (365 * yoe + yoe / 4 - yoe / 100) in
+  let mp = (5 * doy + 2) / 153 in
+  let d = doy - (153 * mp + 2) / 5 + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let date_of_string s =
+  (* accepts YYYY-MM-DD, optionally followed by a time component *)
+  try
+    Scanf.sscanf s "%d-%d-%d" (fun y m d -> Some (days_from_civil ~y ~m ~d))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let string_of_date z =
+  let y, m, d = civil_from_days z in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let last_day_of_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | _ -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+
+(* DATEADD semantics: day-of-month clamps to the target month's end *)
+let add_years z n =
+  let y, m, d = civil_from_days z in
+  let y' = y + n in
+  days_from_civil ~y:y' ~m ~d:(min d (last_day_of_month y' m))
+
+let add_months z n =
+  let y, m, d = civil_from_days z in
+  let total = (y * 12 + (m - 1)) + n in
+  let y' = if total >= 0 then total / 12 else (total - 11) / 12 in
+  let m' = total - (y' * 12) + 1 in
+  days_from_civil ~y:y' ~m:m' ~d:(min d (last_day_of_month y' m'))
+
+let year_of z = let y, _, _ = civil_from_days z in y
+
+let to_string = function
+  | Null -> "NULL"
+  | Int x -> string_of_int x
+  | Float x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.6g" x
+  | String s -> s
+  | Bool b -> if b then "true" else "false"
+  | Date d -> string_of_date d
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* SQL-literal rendering, used by DSQL generation. *)
+let to_sql = function
+  | Null -> "NULL"
+  | Int x -> string_of_int x
+  | Float x -> Printf.sprintf "%g" x
+  | String s ->
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '\'';
+    String.iter (fun c -> if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c) s;
+    Buffer.add_char b '\'';
+    Buffer.contents b
+  | Bool b -> if b then "1" else "0"
+  | Date d -> Printf.sprintf "CAST ('%s' AS DATE)" (string_of_date d)
+
+(* Numeric views; raise on non-numeric input (plans are typed upstream). *)
+let to_float = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Date d -> float_of_int d
+  | Bool b -> if b then 1.0 else 0.0
+  | Null -> nan
+  | String s -> (try float_of_string s with _ -> nan)
+
+(* Approximate serialized width in bytes, for byte accounting in DMS. *)
+let width = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | String s -> String.length s
+  | Bool _ -> 1
+  | Date _ -> 4

@@ -1,0 +1,287 @@
+(** opdw — an OCaml reproduction of the Microsoft SQL Server PDW query
+    optimizer (SIGMOD 2012).
+
+    This façade wires the full pipeline of the paper's Fig. 2:
+
+    {v
+    SQL text --(PDW parser)--> AST --(algebrizer + simplification)--> logical tree
+      --(serial Cascades optimizer)--> MEMO --(XML export/import)-->
+      --(PDW bottom-up optimizer + DMS cost model)--> parallel plan
+      --(DSQL generation)--> DSQL steps --(appliance)--> results
+    v}
+
+    {b Quickstart}:
+    {[
+      let shell = Catalog.Shell_db.create ~node_count:8 in
+      Tpch.Schema.install shell;
+      (* ... load stats, see Opdw.Workload ... *)
+      let r = Opdw.optimize shell "SELECT ... " in
+      print_endline (Opdw.explain r)
+    ]} *)
+
+type options = {
+  serial : Serialopt.Optimizer.options;
+  pdw : Pdwopt.Enumerate.opts;
+  baseline : Baseline.opts;
+  via_xml : bool;
+      (** ship the MEMO through its XML encoding, as the real system does *)
+  seed_collocated : bool;
+      (** §3.1: seed the MEMO with distribution-aware join orders, useful
+          under a small exploration budget *)
+}
+
+let default_options ~node_count = {
+  serial = Serialopt.Optimizer.default_options;
+  pdw = { Pdwopt.Enumerate.default_opts with Pdwopt.Enumerate.nodes = node_count };
+  baseline = { Baseline.default_opts with Baseline.nodes = node_count };
+  via_xml = true;
+  seed_collocated = false;
+}
+
+type result = {
+  query : Sqlfront.Ast.query;
+  algebrized : Algebra.Algebrizer.result;
+  normalized : Algebra.Relop.t;
+  serial : Serialopt.Optimizer.result;
+  memo_xml : string option;
+  memo : Memo.t;                       (** the memo the PDW side optimized *)
+  pdw : Pdwopt.Optimizer.result;
+  dsql : Dsql.Generate.plan;
+  baseline_plan : Pdwopt.Pplan.t option;  (** parallelized best serial plan *)
+}
+
+(* §3.1 seeding: produce an alternative join tree that prefers collocated
+   joins first (tables hash-partitioned compatibly joined before others).
+   Implemented as a greedy re-bracketing of the normalized inner-join region
+   rooted at the top of the tree. *)
+let collocated_seed (reg : Algebra.Registry.t) (shell : Catalog.Shell_db.t)
+    (t : Algebra.Relop.t) : Algebra.Relop.t option =
+  ignore reg;
+  ignore shell;
+  (* decompose the top inner-join region into leaves + conjuncts *)
+  let open Algebra in
+  let rec leaves (n : Relop.t) =
+    match n.Relop.op, n.Relop.children with
+    | Relop.Join { kind = Relop.Inner | Relop.Cross; pred }, [ l; r ] ->
+      let ll, lc = leaves l and rl, rc = leaves r in
+      (ll @ rl, Expr.conjuncts pred @ lc @ rc)
+    | _ -> ([ n ], [])
+  in
+  let rec rewrap (n : Relop.t) f =
+    (* rebuild the unary chain above the join region *)
+    match n.Relop.op, n.Relop.children with
+    | Relop.Join { kind = Relop.Inner | Relop.Cross; _ }, _ -> f n
+    | _, [ c ] -> { n with Relop.children = [ rewrap c f ] }
+    | _, _ -> n
+  in
+  let changed = ref false in
+  let rebuilt =
+    rewrap t (fun join_root ->
+        let ls, conjs = leaves join_root in
+        if List.length ls < 3 then join_root
+        else begin
+          (* greedy: start from the largest leaf set ordering where leaves
+             sharing distribution columns in an equality are adjacent *)
+          let dist_cols (n : Relop.t) =
+            let rec base n =
+              match n.Relop.op, n.Relop.children with
+              | Relop.Get { table; cols; _ }, _ ->
+                (match Catalog.Shell_db.find shell table with
+                 | Some tbl ->
+                   (match tbl.Catalog.Shell_db.dist with
+                    | Catalog.Distribution.Hash_partitioned names ->
+                      List.filter_map
+                        (fun nm ->
+                           match Catalog.Schema.find_col tbl.Catalog.Shell_db.schema nm with
+                           | Some i -> Some cols.(i)
+                           | None -> None)
+                        names
+                    | Catalog.Distribution.Replicated -> [])
+                 | None -> [])
+              | _, [ c ] -> base c
+              | _, _ -> []
+            in
+            base n
+          in
+          let equi = List.filter_map Expr.as_col_eq conjs in
+          let collocatable a b =
+            let da = dist_cols a and db = dist_cols b in
+            List.exists
+              (fun ca ->
+                 List.exists
+                   (fun cb ->
+                      List.exists (fun (x, y) -> (x = ca && y = cb) || (x = cb && y = ca)) equi)
+                   db)
+              da
+          in
+          (* pick a collocatable pair to join first, then fold the rest in *)
+          let rec pick_pair = function
+            | [] -> None
+            | a :: rest ->
+              (match List.find_opt (collocatable a) rest with
+               | Some b -> Some (a, b, List.filter (fun x -> x != b) rest)
+               | None -> pick_pair rest |> Option.map (fun (x, y, r) -> (x, y, a :: r)))
+          in
+          match pick_pair ls with
+          | None -> join_root
+          | Some (a, b, rest) ->
+            changed := true;
+            let placed = ref [] in
+            let join_with acc leaf =
+              let cols =
+                Algebra.Registry.Col_set.union (Relop.output_col_set acc)
+                  (Relop.output_col_set leaf)
+              in
+              let usable, remaining =
+                List.partition
+                  (fun c ->
+                     Algebra.Registry.Col_set.subset (Expr.cols c) cols
+                     && not (List.memq c !placed))
+                  conjs
+              in
+              ignore remaining;
+              placed := usable @ !placed;
+              let pred =
+                match usable with
+                | [] -> Expr.Lit (Catalog.Value.Bool true)
+                | _ -> Expr.conjoin usable
+              in
+              Relop.join
+                (if usable = [] then Relop.Cross else Relop.Inner)
+                pred acc leaf
+            in
+            let first = join_with a b in
+            let tree = List.fold_left join_with first rest in
+            (* any leftover conjuncts become a residual filter *)
+            let leftovers = List.filter (fun c -> not (List.memq c !placed)) conjs in
+            (match Expr.conjoin_opt leftovers with
+             | Some p -> Relop.select p tree
+             | None -> tree)
+        end)
+  in
+  if !changed then Some rebuilt else None
+
+(** Run the full optimization pipeline on a SQL string. *)
+let optimize ?(options : options option) (shell : Catalog.Shell_db.t) (sql : string)
+  : result =
+  let opts =
+    match options with
+    | Some o -> o
+    | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
+  in
+  let query = Sqlfront.Parser.parse sql in
+  (* §3.1 query hints adjust the optimization strategy *)
+  let opts =
+    let force_order =
+      List.mem Sqlfront.Ast.Hint_force_order query.Sqlfront.Ast.hints
+    in
+    let dist_hints =
+      List.filter_map
+        (fun h ->
+           match h with
+           | Sqlfront.Ast.Hint_broadcast t -> Some (t, `Broadcast)
+           | Sqlfront.Ast.Hint_shuffle t -> Some (t, `Shuffle)
+           | Sqlfront.Ast.Hint_force_order -> None)
+        query.Sqlfront.Ast.hints
+    in
+    { opts with
+      serial =
+        (if force_order then
+           { opts.serial with Serialopt.Optimizer.task_budget = 0 }
+         else opts.serial);
+      pdw = { opts.pdw with Pdwopt.Enumerate.hints = dist_hints } }
+  in
+  let algebrized = Algebra.Algebrizer.algebrize shell query in
+  let reg = algebrized.Algebra.Algebrizer.reg in
+  let normalized = Algebra.Normalize.normalize reg shell algebrized.Algebra.Algebrizer.tree in
+  let seeds =
+    if opts.seed_collocated then
+      match collocated_seed reg shell normalized with
+      | Some s -> [ s ]
+      | None -> []
+    else []
+  in
+  let serial = Serialopt.Optimizer.optimize ~opts:opts.serial ~seeds reg shell normalized in
+  let memo_xml, memo =
+    if opts.via_xml then begin
+      let xml = Memo.Memo_xml.export_string serial.Serialopt.Optimizer.memo in
+      (Some xml, Memo.Memo_xml.import_string shell xml)
+    end
+    else (None, serial.Serialopt.Optimizer.memo)
+  in
+  let pdw = Pdwopt.Optimizer.optimize ~opts:opts.pdw memo in
+  let dsql = Dsql.Generate.generate memo.Memo.reg pdw.Pdwopt.Optimizer.plan in
+  let baseline_plan =
+    match serial.Serialopt.Optimizer.best with
+    | Some best ->
+      (try Some (Baseline.parallelize ~opts:opts.baseline reg shell best)
+       with Baseline.Cannot_parallelize _ -> None)
+    | None -> None
+  in
+  { query; algebrized; normalized; serial; memo_xml; memo; pdw; dsql; baseline_plan }
+
+(** The chosen distributed plan. *)
+let plan r = r.pdw.Pdwopt.Optimizer.plan
+
+(** Pretty explanation: parallel plan + DSQL steps. *)
+let explain (r : result) : string =
+  let reg = r.memo.Memo.reg in
+  Printf.sprintf "-- parallel plan --\n%s\n\n-- DSQL plan --\n%s"
+    (Pdwopt.Pplan.to_string reg (plan r))
+    (Dsql.Generate.to_string r.dsql)
+
+(** Execute the chosen plan on an appliance; returns the client result. *)
+let run (app : Engine.Appliance.t) (r : result) : Engine.Local.rset =
+  Engine.Appliance.run_pplan app (plan r)
+
+(** Execute the baseline (parallelized best serial) plan. *)
+let run_baseline (app : Engine.Appliance.t) (r : result) : Engine.Local.rset option =
+  Option.map (Engine.Appliance.run_pplan app) r.baseline_plan
+
+(** Single-node reference execution of the best serial plan (oracle). *)
+let run_reference (app : Engine.Appliance.t) (r : result) : Engine.Local.rset option =
+  Option.map (Engine.Appliance.run_reference app) r.serial.Serialopt.Optimizer.best
+
+(** The query's output columns (display name, column id). *)
+let output_columns (r : result) = r.algebrized.Algebra.Algebrizer.output
+
+module Workload = struct
+  (** Convenience setup: a TPC-H appliance with generated data and global
+      statistics computed the PDW way — local per-node statistics merged
+      into global shell statistics (paper §2.2). *)
+
+  type t = {
+    shell : Catalog.Shell_db.t;
+    app : Engine.Appliance.t;
+    db : Tpch.Datagen.db;
+  }
+
+  let tpch ?(node_count = 8) ?(sf = 0.01) () : t =
+    let shell = Catalog.Shell_db.create ~node_count in
+    Tpch.Schema.install shell;
+    let db = Tpch.Datagen.generate sf in
+    let app = Engine.Appliance.create shell in
+    List.iter
+      (fun (schema, _) ->
+         let name = schema.Catalog.Schema.name in
+         Engine.Appliance.load_table app name (Tpch.Datagen.rows db name))
+      Tpch.Schema.layout;
+    (* global statistics = merge of per-node local statistics (§2.2) *)
+    List.iter
+      (fun (schema, dist) ->
+         let name = schema.Catalog.Schema.name in
+         let stats =
+           match dist with
+           | Catalog.Distribution.Replicated ->
+             (* every node holds a full copy; one local computation suffices *)
+             Catalog.Tbl_stats.of_rows schema (Engine.Appliance.node_table app 0 name)
+           | Catalog.Distribution.Hash_partitioned _ ->
+             Catalog.Tbl_stats.merge
+               (List.init node_count (fun node ->
+                    Catalog.Tbl_stats.of_rows schema
+                      (Engine.Appliance.node_table app node name)))
+         in
+         Catalog.Shell_db.set_stats shell name stats)
+      Tpch.Schema.layout;
+    { shell; app; db }
+end

@@ -1,0 +1,91 @@
+(** opdw — an OCaml reproduction of the Microsoft SQL Server PDW query
+    optimizer (SIGMOD 2012): the public, one-call API over the full
+    pipeline of the paper's Fig. 2.
+
+    {v
+    SQL text --(PDW parser)--> AST --(algebrizer + simplification)--> logical tree
+      --(serial Cascades optimizer)--> MEMO --(XML export/import)-->
+      --(PDW bottom-up optimizer + DMS cost model)--> parallel plan
+      --(DSQL generation)--> DSQL steps --(appliance)--> results
+    v}
+
+    See the library modules for the pieces: {!Sqlfront} (parser),
+    {!Algebra} (algebrizer/normalizer/cardinality), {!Memo} (the MEMO and
+    its XML interchange), {!Serialopt} (serial optimizer), {!Dms}
+    (distribution properties, the 7 movements, the λ cost model),
+    {!Pdwopt} (the paper's contribution), {!Dsql} (DSQL generation),
+    {!Engine} (the simulated appliance), {!Tpch} and {!Baseline}. *)
+
+(** Pipeline configuration. *)
+type options = {
+  serial : Serialopt.Optimizer.options;
+      (** serial exploration (task budget = the paper's timeout, §3.1) *)
+  pdw : Pdwopt.Enumerate.opts;
+      (** node count, λ constants, pruning, hints (Fig. 4 / §3.3) *)
+  baseline : Baseline.opts;
+  via_xml : bool;
+      (** ship the MEMO through its XML encoding, as the real system does *)
+  seed_collocated : bool;
+      (** §3.1: seed the MEMO with distribution-aware join orders, useful
+          under a small exploration budget *)
+}
+
+(** Defaults for an appliance with [node_count] compute nodes: full
+    exploration budget, XML interchange on, pruning on, no seeding. *)
+val default_options : node_count:int -> options
+
+(** Everything the pipeline produced, from AST to DSQL plan. *)
+type result = {
+  query : Sqlfront.Ast.query;
+  algebrized : Algebra.Algebrizer.result;
+  normalized : Algebra.Relop.t;
+  serial : Serialopt.Optimizer.result;
+  memo_xml : string option;        (** the interchange XML (when [via_xml]) *)
+  memo : Memo.t;                   (** the MEMO the PDW side optimized *)
+  pdw : Pdwopt.Optimizer.result;
+  dsql : Dsql.Generate.plan;
+  baseline_plan : Pdwopt.Pplan.t option;
+      (** the §3.2 strawman: the best serial plan, parallelized greedily *)
+}
+
+(** Run the full optimization pipeline on a SQL string against a shell
+    database. Raises {!Sqlfront.Parser.Parse_error},
+    {!Algebra.Algebrizer.Unsupported} / [Resolve_error], or
+    {!Pdwopt.Optimizer.No_plan} on invalid input. *)
+val optimize : ?options:options -> Catalog.Shell_db.t -> string -> result
+
+(** The chosen distributed plan (rooted at the final Return operation). *)
+val plan : result -> Pdwopt.Pplan.t
+
+(** Human-readable explanation: the parallel plan tree plus the DSQL steps
+    (paper Fig. 7 style). *)
+val explain : result -> string
+
+(** Execute the chosen plan on an appliance; returns the client result.
+    Byte/time accounting accumulates in the appliance's account. *)
+val run : Engine.Appliance.t -> result -> Engine.Local.rset
+
+(** Execute the parallelized-best-serial baseline plan, if one exists. *)
+val run_baseline : Engine.Appliance.t -> result -> Engine.Local.rset option
+
+(** Single-node reference execution of the best serial plan (the
+    correctness oracle). *)
+val run_reference : Engine.Appliance.t -> result -> Engine.Local.rset option
+
+(** The query's output columns: (display name, registry column id). *)
+val output_columns : result -> (string * int) list
+
+(** Batteries-included workload setup. *)
+module Workload : sig
+  type t = {
+    shell : Catalog.Shell_db.t;
+    app : Engine.Appliance.t;
+    db : Tpch.Datagen.db;
+  }
+
+  (** A TPC-H appliance: deterministic generated data at scale factor [sf]
+      loaded onto [node_count] simulated nodes, with global statistics
+      computed the PDW way — per-node local statistics merged into the
+      shell database (paper §2.2). *)
+  val tpch : ?node_count:int -> ?sf:float -> unit -> t
+end

@@ -1,0 +1,75 @@
+(** Cost calibration (paper §3.3.3): "The constant lambda is calculated via
+    targeted performance tests after a meticulous instrumentation of the
+    source code."
+
+    Given instrumented measurements — (bytes processed, seconds) samples per
+    cost component — we fit each lambda by least squares through the origin:
+    lambda = sum(x*y) / sum(x^2). The engine's DMS runtime produces such
+    samples with per-row and fixed overheads on top of the linear term, so
+    the fit (and its residual) quantifies how much the constant-lambda
+    simplification gives up, which is exactly the trade-off the paper
+    discusses. *)
+
+type sample = { bytes : float; seconds : float }
+
+type component = Reader_direct | Reader_hash | Network | Writer | Blkcpy
+
+let component_name = function
+  | Reader_direct -> "reader_direct"
+  | Reader_hash -> "reader_hash"
+  | Network -> "network"
+  | Writer -> "writer"
+  | Blkcpy -> "blkcpy"
+
+(** Least-squares slope through the origin. *)
+let fit_lambda (samples : sample list) : float =
+  let sxy, sxx =
+    List.fold_left
+      (fun (sxy, sxx) s -> (sxy +. (s.bytes *. s.seconds), sxx +. (s.bytes *. s.bytes)))
+      (0., 0.) samples
+  in
+  if sxx <= 0. then 0. else sxy /. sxx
+
+(** Relative RMS residual of the fitted linear model against the samples. *)
+let fit_error (lambda : float) (samples : sample list) : float =
+  match samples with
+  | [] -> 0.
+  | _ ->
+    let n = float_of_int (List.length samples) in
+    let mse =
+      List.fold_left
+        (fun acc s ->
+           let predicted = lambda *. s.bytes in
+           let rel =
+             if s.seconds > 0. then (predicted -. s.seconds) /. s.seconds else 0.
+           in
+           acc +. (rel *. rel))
+        0. samples
+      /. n
+    in
+    sqrt mse
+
+(** Build a lambda table from per-component measurement sets. *)
+let calibrate (measure : component -> sample list) : Cost.lambdas * (component * float) list =
+  let fit c = fit_lambda (measure c) in
+  let lambdas = {
+    Cost.l_reader_direct = fit Reader_direct;
+    l_reader_hash = fit Reader_hash;
+    l_network = fit Network;
+    l_writer = fit Writer;
+    l_blkcpy = fit Blkcpy;
+  } in
+  let errors =
+    List.map
+      (fun c ->
+         let l = match c with
+           | Reader_direct -> lambdas.Cost.l_reader_direct
+           | Reader_hash -> lambdas.Cost.l_reader_hash
+           | Network -> lambdas.Cost.l_network
+           | Writer -> lambdas.Cost.l_writer
+           | Blkcpy -> lambdas.Cost.l_blkcpy
+         in
+         (c, fit_error l (measure c)))
+      [ Reader_direct; Reader_hash; Network; Writer; Blkcpy ]
+  in
+  (lambdas, errors)

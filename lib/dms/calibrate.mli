@@ -1,0 +1,21 @@
+(** Cost calibration (paper §3.3.3): fit each λ from instrumented
+    measurements — "the constant λ is calculated via targeted performance
+    tests after a meticulous instrumentation of the source code". *)
+
+type sample = { bytes : float; seconds : float }
+
+type component = Reader_direct | Reader_hash | Network | Writer | Blkcpy
+
+val component_name : component -> string
+
+(** Least-squares slope through the origin: λ = Σxy / Σx². *)
+val fit_lambda : sample list -> float
+
+(** Relative RMS residual of the fitted linear model against the samples
+    (non-zero residuals quantify what the constant-λ simplification gives
+    up to per-row and fixed overheads). *)
+val fit_error : float -> sample list -> float
+
+(** Fit the full λ table from per-component measurement sets; returns the
+    lambdas plus the per-component fit residuals. *)
+val calibrate : (component -> sample list) -> Cost.lambdas * (component * float) list

@@ -1,0 +1,78 @@
+(** The seven physical data movement operations of PDW (paper §3.3.2), all
+    implemented by one common runtime operator (Fig. 5). *)
+
+type kind =
+  | Shuffle of int list
+      (** 1. Shuffle Move (many-to-many): re-partition on the hash of the
+          given columns. *)
+  | Partition_move
+      (** 2. Partition Move (many-to-one): gather a distributed stream onto
+          a single node (typically the control node). *)
+  | Control_node_move
+      (** 3. Control-Node Move: replicate a control-node table to all
+          compute nodes. *)
+  | Broadcast
+      (** 4. Broadcast Move: every compute node sends its rows to all
+          compute nodes, yielding a replica everywhere. *)
+  | Trim of int list
+      (** 5. Trim Move: a replicated input is locally re-hashed; each node
+          keeps only the rows it is responsible for. No network traffic. *)
+  | Replicated_broadcast
+      (** 6. Replicated Broadcast: a table resident on one compute node is
+          replicated to all nodes via a broadcast. *)
+  | Remote_copy
+      (** 7. Remote Copy to single node: copy a replicated or distributed
+          table onto one node. *)
+
+let name = function
+  | Shuffle _ -> "Shuffle"
+  | Partition_move -> "PartitionMove"
+  | Control_node_move -> "ControlNodeMove"
+  | Broadcast -> "Broadcast"
+  | Trim _ -> "Trim"
+  | Replicated_broadcast -> "ReplicatedBroadcast"
+  | Remote_copy -> "RemoteCopy"
+
+let to_string reg = function
+  | Shuffle cols ->
+    Printf.sprintf "Shuffle(%s)"
+      (String.concat "," (List.map (Algebra.Registry.label reg) cols))
+  | Trim cols ->
+    Printf.sprintf "Trim(%s)"
+      (String.concat "," (List.map (Algebra.Registry.label reg) cols))
+  | k -> name k
+
+(** Output distribution property of a movement applied to an input with
+    distribution [d]; [None] when the operation does not apply. *)
+let output_dist (k : kind) (d : Distprop.t) : Distprop.t option =
+  match k, d with
+  | Shuffle cols, (Distprop.Hashed _ | Distprop.Single_node) -> Some (Distprop.Hashed cols)
+  | Shuffle _, Distprop.Replicated -> None (* use Trim instead *)
+  | Partition_move, Distprop.Hashed _ -> Some Distprop.Single_node
+  | Partition_move, _ -> None
+  | Control_node_move, Distprop.Single_node -> Some Distprop.Replicated
+  | Control_node_move, _ -> None
+  | Broadcast, Distprop.Hashed _ -> Some Distprop.Replicated
+  | Broadcast, _ -> None
+  | Trim cols, Distprop.Replicated -> Some (Distprop.Hashed cols)
+  | Trim _, _ -> None
+  | Replicated_broadcast, Distprop.Single_node -> Some Distprop.Replicated
+  | Replicated_broadcast, _ -> None
+  | Remote_copy, (Distprop.Hashed _ | Distprop.Replicated) -> Some Distprop.Single_node
+  | Remote_copy, Distprop.Single_node -> None
+
+(** All movements applicable to input distribution [d] that produce [target].
+    [interesting] supplies the candidate hash-column lists for Shuffle/Trim. *)
+let moves_to ~(interesting : int list list) (d : Distprop.t) (target : Distprop.t)
+  : kind list =
+  let candidates =
+    List.concat
+      [ List.map (fun cols -> Shuffle cols) interesting;
+        List.map (fun cols -> Trim cols) interesting;
+        [ Partition_move; Control_node_move; Broadcast; Replicated_broadcast; Remote_copy ] ]
+  in
+  List.filter
+    (fun k -> match output_dist k d with
+       | Some o -> Distprop.equal o target
+       | None -> false)
+    candidates

@@ -1,0 +1,24 @@
+(** The seven physical data movement operations of PDW (paper §3.3.2),
+    all implemented by one common runtime operator (Fig. 5). *)
+
+type kind =
+  | Shuffle of int list     (** 1. many-to-many re-hash on these columns *)
+  | Partition_move          (** 2. many-to-one gather onto a single node *)
+  | Control_node_move       (** 3. control node -> replicate to all compute *)
+  | Broadcast               (** 4. every compute node -> all compute nodes *)
+  | Trim of int list        (** 5. replicated -> hashed, local keep-own (no network) *)
+  | Replicated_broadcast    (** 6. single compute node -> all nodes *)
+  | Remote_copy             (** 7. copy a replicated/distributed table to one node *)
+
+val name : kind -> string
+val to_string : Algebra.Registry.t -> kind -> string
+
+(** Output distribution of a movement applied to input distribution [d];
+    [None] when the operation does not apply. *)
+val output_dist : kind -> Distprop.t -> Distprop.t option
+
+(** All movements turning an input with distribution [d] into [target].
+    [interesting] supplies candidate hash-column lists for Shuffle/Trim.
+    Every ordered pair of distinct distributions is reachable with exactly
+    one movement. *)
+val moves_to : interesting:int list list -> Distprop.t -> Distprop.t -> kind list

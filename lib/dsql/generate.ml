@@ -1,0 +1,181 @@
+(** DSQL plan generation (paper §2.4 and Fig. 4 steps 10-11): the chosen
+    parallel plan is cut at every data movement operation into serially
+    executed DSQL steps. Each DMS step carries (1) the SQL statement
+    extracting the source data, (2) the tuple routing policy, and (3) the
+    destination temp table; the final step is a Return operation. *)
+
+open Algebra
+
+type step =
+  | Dms_step of {
+      id : int;
+      kind : Dms.Op.kind;
+      temp_table : string;
+      source_sql : string;
+      cols : (int * string) list;    (** temp table schema *)
+    }
+  | Return_step of {
+      id : int;
+      sql : string;
+    }
+
+type plan = {
+  steps : step list;                 (** in execution order *)
+  reg : Registry.t;
+}
+
+let step_id = function Dms_step { id; _ } -> id | Return_step { id; _ } -> id
+
+(** Generate the DSQL plan for a parallel plan (bottom-up traversal: deepest
+    movements become the earliest steps, as in Fig. 7). *)
+let generate (reg : Registry.t) (p : Pdwopt.Pplan.t) : plan =
+  let steps = ref [] in
+  let temp_count = ref 0 in
+  let temp_names : (Pdwopt.Pplan.t, string * (int * string) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let ctx =
+    { Sqlgen.reg;
+      alias_n = 0;
+      temp_of_move = (fun m -> fst (Hashtbl.find temp_names m));
+      temp_cols = (fun m -> snd (Hashtbl.find temp_names m)) }
+  in
+  (* first pass: emit a DMS step for every Move, bottom-up *)
+  let rec walk (node : Pdwopt.Pplan.t) =
+    List.iter walk node.Pdwopt.Pplan.children;
+    match node.Pdwopt.Pplan.op with
+    | Pdwopt.Pplan.Move { kind; cols } when not (Hashtbl.mem temp_names node) ->
+      (* structurally identical movements share one temp table *)
+      incr temp_count;
+      let name = Printf.sprintf "TEMP_ID_%d" !temp_count in
+      let child = List.hd node.Pdwopt.Pplan.children in
+      ctx.Sqlgen.alias_n <- 0;
+      let rendered = Sqlgen.as_query ctx 1 child in
+      (* temp table columns follow the moved projection *)
+      let temp_cols =
+        List.map
+          (fun id ->
+             match List.assoc_opt id rendered.Sqlgen.outputs with
+             | Some n -> (id, n)
+             | None -> (id, Printf.sprintf "col%d" id))
+          cols
+      in
+      (* the source SQL projects exactly the moved columns *)
+      let source_sql =
+        if List.map fst rendered.Sqlgen.outputs = cols then rendered.Sqlgen.sql
+        else begin
+          let alias = "S1" in
+          let sel =
+            List.map
+              (fun (id, n) ->
+                 match List.assoc_opt id rendered.Sqlgen.outputs with
+                 | Some src -> Printf.sprintf "%s.%s AS %s" alias src n
+                 | None -> Printf.sprintf "NULL AS %s" n)
+              temp_cols
+          in
+          Printf.sprintf "SELECT %s FROM (%s) AS %s" (String.concat ", " sel)
+            rendered.Sqlgen.sql alias
+        end
+      in
+      Hashtbl.replace temp_names node (name, temp_cols);
+      steps :=
+        Dms_step
+          { id = List.length !steps; kind; temp_table = name; source_sql;
+            cols = temp_cols }
+        :: !steps
+    | _ -> ()
+  in
+  (match p.Pdwopt.Pplan.op with
+   | Pdwopt.Pplan.Return { sort; limit } ->
+     let child = List.hd p.Pdwopt.Pplan.children in
+     walk child;
+     ctx.Sqlgen.alias_n <- 0;
+     let rendered = Sqlgen.as_query ctx 1 child in
+     let order =
+       if sort = [] then ""
+       else begin
+         (* re-render order keys against the final select's output names *)
+         let items =
+           [ { Sqlgen.relation = ""; alias = "";
+               cols = rendered.Sqlgen.outputs } ]
+         in
+         let naked e =
+           (* strip the "." prefix produced by the empty alias *)
+           let s = Sqlgen.expr_sql items e in
+           s
+         in
+         Printf.sprintf " ORDER BY %s"
+           (String.concat ", "
+              (List.map
+                 (fun k ->
+                    let s = naked k.Relop.key in
+                    let s =
+                      if String.length s > 0 && s.[0] = '.' then
+                        String.sub s 1 (String.length s - 1)
+                      else s
+                    in
+                    s ^ (if k.Relop.desc then " DESC" else " ASC"))
+                 sort))
+       end
+     in
+     let sql =
+       match limit with
+       | Some n ->
+         (* TOP applies at the final gather *)
+         Printf.sprintf "SELECT TOP %d * FROM (%s) AS R%s" n rendered.Sqlgen.sql order
+       | None ->
+         if order = "" then rendered.Sqlgen.sql
+         else Printf.sprintf "SELECT * FROM (%s) AS R%s" rendered.Sqlgen.sql order
+     in
+     steps := Return_step { id = List.length !steps; sql } :: !steps
+   | _ ->
+     walk p;
+     ctx.Sqlgen.alias_n <- 0;
+     let rendered = Sqlgen.as_query ctx 1 p in
+     steps := Return_step { id = List.length !steps; sql = rendered.Sqlgen.sql } :: !steps);
+  { steps = List.rev !steps; reg }
+
+(* -- formatting (paper Fig. 7 style) -- *)
+
+let routing_policy reg = function
+  | Dms.Op.Shuffle cols ->
+    Printf.sprintf "hash-partition on (%s)"
+      (String.concat ", " (List.map (Registry.label reg) cols))
+  | Dms.Op.Trim cols ->
+    Printf.sprintf "local re-hash on (%s), keep own rows"
+      (String.concat ", " (List.map (Registry.label reg) cols))
+  | Dms.Op.Broadcast -> "replicate to all compute nodes"
+  | Dms.Op.Partition_move -> "gather to control node"
+  | Dms.Op.Control_node_move -> "replicate from control node"
+  | Dms.Op.Replicated_broadcast -> "replicate from single node"
+  | Dms.Op.Remote_copy -> "copy to single node"
+
+(* crude SQL reflow for readability *)
+let reflow sql =
+  let b = Buffer.create (String.length sql + 64) in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+       match c with
+       | '(' -> incr depth; Buffer.add_char b c
+       | ')' -> decr depth; Buffer.add_char b c
+       | ' ' -> Buffer.add_char b c
+       | c -> Buffer.add_char b c)
+    sql;
+  ignore !depth;
+  Buffer.contents b
+
+let step_to_string reg = function
+  | Dms_step { id; kind; temp_table; source_sql; cols } ->
+    Printf.sprintf
+      "DSQL step %d: DMS %s\n  routing: %s\n  destination: [tempdb].[dbo].[%s](%s)\n  source SQL:\n    %s"
+      id (Dms.Op.name kind) (routing_policy reg kind) temp_table
+      (String.concat ", " (List.map snd cols))
+      (reflow source_sql)
+  | Return_step { id; sql } ->
+    Printf.sprintf "DSQL step %d: Return\n  SQL:\n    %s" id (reflow sql)
+
+let to_string (p : plan) =
+  String.concat "\n\n" (List.map (step_to_string p.reg) p.steps)
+
+let step_count p = List.length p.steps

@@ -1,0 +1,436 @@
+(** The simulated PDW appliance: a control node plus N compute nodes, each
+    holding hash-partitioned or replicated table shards and running the
+    {!Local} executor; a DMS runtime routes rows between nodes with byte
+    accounting and a simulated clock (paper §2.1-§2.4).
+
+    Time is simulated from "true" per-component hardware characteristics
+    that are deliberately richer than the optimizer's linear cost model
+    (per-byte rate + per-row overhead + fixed setup): calibration (paper
+    §3.3.3) fits the model's lambdas against measurements produced here. *)
+
+
+type rows = Catalog.Value.t array list
+
+(* -- "true" hardware characteristics of the simulated appliance -- *)
+
+type hw = {
+  reader_byte : float; reader_row : float;
+  hash_extra_byte : float;               (** extra reader cost when hashing *)
+  network_byte : float; network_row : float;
+  writer_byte : float; writer_row : float;
+  blkcpy_byte : float; blkcpy_row : float; blkcpy_fixed : float;
+  serial_unit : float;  (** seconds per unit of {!Serialopt.Cost} work *)
+}
+
+let default_hw = {
+  reader_byte = 0.95e-9; reader_row = 6e-9;
+  hash_extra_byte = 0.45e-9;
+  network_byte = 0.82e-9; network_row = 3e-9;
+  writer_byte = 0.65e-9; writer_row = 4e-9;
+  blkcpy_byte = 1.30e-9; blkcpy_row = 7e-9; blkcpy_fixed = 2e-4;
+  serial_unit = 0.04e-6;
+}
+
+(* -- accounting -- *)
+
+type account = {
+  mutable sim_time : float;         (** simulated response time, seconds *)
+  mutable dms_time : float;         (** portion spent in DMS steps *)
+  mutable bytes_moved : float;      (** bytes that crossed the network *)
+  mutable rows_moved : float;
+  mutable moves : int;
+  mutable reader_samples : Dms.Calibrate.sample list;
+  mutable reader_hash_samples : Dms.Calibrate.sample list;
+  mutable network_samples : Dms.Calibrate.sample list;
+  mutable writer_samples : Dms.Calibrate.sample list;
+  mutable blkcpy_samples : Dms.Calibrate.sample list;
+}
+
+let fresh_account () = {
+  sim_time = 0.; dms_time = 0.; bytes_moved = 0.; rows_moved = 0.; moves = 0;
+  reader_samples = []; reader_hash_samples = []; network_samples = [];
+  writer_samples = []; blkcpy_samples = [];
+}
+
+let samples_of account (c : Dms.Calibrate.component) =
+  match c with
+  | Dms.Calibrate.Reader_direct -> account.reader_samples
+  | Dms.Calibrate.Reader_hash -> account.reader_hash_samples
+  | Dms.Calibrate.Network -> account.network_samples
+  | Dms.Calibrate.Writer -> account.writer_samples
+  | Dms.Calibrate.Blkcpy -> account.blkcpy_samples
+
+(* -- the appliance -- *)
+
+type t = {
+  shell : Catalog.Shell_db.t;
+  nodes : int;
+  hw : hw;
+  (* per compute node: table name -> rows *)
+  storage : (string, rows) Hashtbl.t array;
+  account : account;
+}
+
+let create ?(hw = default_hw) (shell : Catalog.Shell_db.t) : t =
+  let nodes = Catalog.Shell_db.node_count shell in
+  { shell; nodes; hw;
+    storage = Array.init nodes (fun _ -> Hashtbl.create 16);
+    account = fresh_account () }
+
+let reset_account t =
+  let a = fresh_account () in
+  t.account.sim_time <- a.sim_time;
+  t.account.dms_time <- 0.; t.account.bytes_moved <- 0.;
+  t.account.rows_moved <- 0.; t.account.moves <- 0;
+  t.account.reader_samples <- []; t.account.reader_hash_samples <- [];
+  t.account.network_samples <- []; t.account.writer_samples <- [];
+  t.account.blkcpy_samples <- []
+
+(* routing hash: must agree between initial loading and shuffles *)
+let route_hash (values : Catalog.Value.t list) =
+  abs (List.fold_left (fun h v -> (h * 31) + Catalog.Value.hash v) 17 values)
+
+let row_bytes (row : Catalog.Value.t array) =
+  Array.fold_left (fun acc v -> acc + Catalog.Value.width v) 0 row
+
+let rows_bytes rows = List.fold_left (fun acc r -> acc +. float_of_int (row_bytes r)) 0. rows
+
+(** Load a table, partitioning or replicating per the shell layout. *)
+let load_table (t : t) (name : string) (rows : rows) =
+  let tbl = Catalog.Shell_db.find_exn t.shell name in
+  let key = String.lowercase_ascii name in
+  match tbl.Catalog.Shell_db.dist with
+  | Catalog.Distribution.Replicated ->
+    Array.iter (fun store -> Hashtbl.replace store key rows) t.storage
+  | Catalog.Distribution.Hash_partitioned cols ->
+    let schema = tbl.Catalog.Shell_db.schema in
+    let idxs =
+      List.filter_map (fun c -> Catalog.Schema.find_col schema c) cols
+    in
+    let parts = Array.make t.nodes [] in
+    List.iter
+      (fun row ->
+         let k = List.map (fun i -> row.(i)) idxs in
+         let n = route_hash k mod t.nodes in
+         parts.(n) <- row :: parts.(n))
+      rows;
+    Array.iteri
+      (fun i store -> Hashtbl.replace store key (List.rev parts.(i)))
+      t.storage
+
+let node_table t node name =
+  match Hashtbl.find_opt t.storage.(node) (String.lowercase_ascii name) with
+  | Some rows -> rows
+  | None -> raise (Local.Exec_error (Printf.sprintf "table %s not loaded" name))
+
+(* -- distributed streams -- *)
+
+type dstream = {
+  layout : int list;
+  per_node : rows array;     (** length = t.nodes; unused when on control *)
+  control : rows;            (** rows resident on the control node *)
+  dist : Dms.Distprop.t;
+}
+
+let stream_rows (d : dstream) : rows =
+  match d.dist with
+  | Dms.Distprop.Single_node -> d.control
+  | Dms.Distprop.Replicated -> if Array.length d.per_node = 0 then [] else d.per_node.(0)
+  | Dms.Distprop.Hashed _ -> List.concat (Array.to_list d.per_node)
+
+(* -- simulated DMS runtime -- *)
+
+let source_time hw ~hashed ~read_bytes ~read_rows ~net_bytes ~net_rows =
+  let rb = hw.reader_byte +. (if hashed then hw.hash_extra_byte else 0.) in
+  let t_read = (read_bytes *. rb) +. (read_rows *. hw.reader_row) in
+  let t_net = (net_bytes *. hw.network_byte) +. (net_rows *. hw.network_row) in
+  (t_read, t_net, Float.max t_read t_net)
+
+let target_time hw ~write_bytes ~write_rows =
+  let t_write = (write_bytes *. hw.writer_byte) +. (write_rows *. hw.writer_row) in
+  let t_blk =
+    (write_bytes *. hw.blkcpy_byte) +. (write_rows *. hw.blkcpy_row) +. hw.blkcpy_fixed
+  in
+  (t_write, t_blk, Float.max t_write t_blk)
+
+(* record calibration samples and advance the clock; per-node component
+   volumes are summarized by their max (homogeneity assumption) *)
+let account_move t ~hashed ~per_node_read ~per_node_net ~per_node_write =
+  let a = t.account in
+  let hw = t.hw in
+  (* max over nodes of max(read, net) = max(max reads, max nets), so the
+     read and net volume lists need not be aligned per node *)
+  let max_of f l = List.fold_left (fun m x -> Float.max m (f x)) 0. l in
+  let t_read_max =
+    max_of
+      (fun (rb, rr) ->
+         let r, _, _ = source_time hw ~hashed ~read_bytes:rb ~read_rows:rr
+             ~net_bytes:0. ~net_rows:0. in
+         r)
+      per_node_read
+  in
+  let t_net_max =
+    max_of
+      (fun (nb, nr) -> (nb *. hw.network_byte) +. (nr *. hw.network_row))
+      per_node_net
+  in
+  let t_src = Float.max t_read_max t_net_max in
+  let t_tgt =
+    max_of
+      (fun (wb, wr) -> let _, _, s = target_time hw ~write_bytes:wb ~write_rows:wr in s)
+      per_node_write
+  in
+  let step = Float.max t_src t_tgt in
+  a.sim_time <- a.sim_time +. step;
+  a.dms_time <- a.dms_time +. step;
+  a.moves <- a.moves + 1;
+  (* calibration samples (true component times vs bytes) *)
+  List.iter
+    (fun (rb, rr) ->
+       if rb > 0. then begin
+         let tt =
+           (rb *. (hw.reader_byte +. if hashed then hw.hash_extra_byte else 0.))
+           +. (rr *. hw.reader_row)
+         in
+         let s = { Dms.Calibrate.bytes = rb; seconds = tt } in
+         if hashed then a.reader_hash_samples <- s :: a.reader_hash_samples
+         else a.reader_samples <- s :: a.reader_samples
+       end)
+    per_node_read;
+  List.iter
+    (fun (nb, nr) ->
+       if nb > 0. then begin
+         let tt = (nb *. hw.network_byte) +. (nr *. hw.network_row) in
+         a.network_samples <- { Dms.Calibrate.bytes = nb; seconds = tt } :: a.network_samples;
+         a.bytes_moved <- a.bytes_moved +. nb;
+         a.rows_moved <- a.rows_moved +. nr
+       end)
+    per_node_net;
+  List.iter
+    (fun (wb, wr) ->
+       if wb > 0. then begin
+         let tw = (wb *. hw.writer_byte) +. (wr *. hw.writer_row) in
+         let tb = (wb *. hw.blkcpy_byte) +. (wr *. hw.blkcpy_row) +. hw.blkcpy_fixed in
+         a.writer_samples <- { Dms.Calibrate.bytes = wb; seconds = tw } :: a.writer_samples;
+         a.blkcpy_samples <- { Dms.Calibrate.bytes = wb; seconds = tb } :: a.blkcpy_samples
+       end)
+    per_node_write
+
+let project_stream (d : dstream) (cols : int list) : dstream =
+  if cols = d.layout then d
+  else begin
+    let env = Local.make_env d.layout in
+    let proj rows =
+      List.map (fun row -> Array.of_list (List.map (env row) cols)) rows
+    in
+    { d with layout = cols; per_node = Array.map proj d.per_node; control = proj d.control }
+  end
+
+(** Execute one DMS operation on a stream (routing + accounting). *)
+let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) : dstream =
+  let n = t.nodes in
+  let input = project_stream input cols in
+  let vol rows = (rows_bytes rows, float_of_int (List.length rows)) in
+  let zero = (0., 0.) in
+  match kind with
+  | Dms.Op.Shuffle hash_cols ->
+    let env = Local.make_env cols in
+    let parts = Array.make n [] in
+    let sources =
+      match input.dist with
+      | Dms.Distprop.Single_node -> [ input.control ]
+      | _ -> Array.to_list input.per_node
+    in
+    List.iter
+      (fun rows ->
+         List.iter
+           (fun row ->
+              let k = List.map (env row) hash_cols in
+              let dst = route_hash k mod n in
+              parts.(dst) <- row :: parts.(dst))
+           rows)
+      sources;
+    let out = Array.map List.rev parts in
+    account_move t ~hashed:true
+      ~per_node_read:(List.map vol sources)
+      ~per_node_net:(List.map vol sources)
+      ~per_node_write:(Array.to_list (Array.map vol out));
+    { layout = cols; per_node = out; control = []; dist = Dms.Distprop.Hashed hash_cols }
+  | Dms.Op.Partition_move ->
+    let all = List.concat (Array.to_list input.per_node) in
+    account_move t ~hashed:false
+      ~per_node_read:(Array.to_list (Array.map vol input.per_node))
+      ~per_node_net:(Array.to_list (Array.map vol input.per_node))
+      ~per_node_write:[ vol all ];
+    { layout = cols; per_node = Array.make n []; control = all;
+      dist = Dms.Distprop.Single_node }
+  | Dms.Op.Control_node_move | Dms.Op.Replicated_broadcast ->
+    let rows = input.control in
+    account_move t ~hashed:false
+      ~per_node_read:[ vol rows ]
+      ~per_node_net:[ vol rows ]
+      ~per_node_write:(List.init n (fun _ -> vol rows));
+    { layout = cols; per_node = Array.make n rows; control = [];
+      dist = Dms.Distprop.Replicated }
+  | Dms.Op.Broadcast ->
+    let all = List.concat (Array.to_list input.per_node) in
+    account_move t ~hashed:false
+      ~per_node_read:(Array.to_list (Array.map vol input.per_node))
+      ~per_node_net:[ vol all ]
+      ~per_node_write:(List.init n (fun _ -> vol all));
+    { layout = cols; per_node = Array.make n all; control = [];
+      dist = Dms.Distprop.Replicated }
+  | Dms.Op.Trim hash_cols ->
+    let env = Local.make_env cols in
+    let out =
+      Array.init n (fun i ->
+          List.filter
+            (fun row ->
+               let k = List.map (env row) hash_cols in
+               route_hash k mod n = i)
+            (if Array.length input.per_node > 0 then input.per_node.(i) else []))
+    in
+    account_move t ~hashed:true
+      ~per_node_read:(Array.to_list (Array.map vol input.per_node))
+      ~per_node_net:[ zero ]
+      ~per_node_write:(Array.to_list (Array.map vol out));
+    { layout = cols; per_node = out; control = []; dist = Dms.Distprop.Hashed hash_cols }
+  | Dms.Op.Remote_copy ->
+    let all =
+      match input.dist with
+      | Dms.Distprop.Replicated ->
+        if Array.length input.per_node > 0 then input.per_node.(0) else []
+      | _ -> List.concat (Array.to_list input.per_node)
+    in
+    let reads =
+      match input.dist with
+      | Dms.Distprop.Replicated -> [ vol all ]
+      | _ -> Array.to_list (Array.map vol input.per_node)
+    in
+    account_move t ~hashed:false ~per_node_read:reads ~per_node_net:reads
+      ~per_node_write:[ vol all ];
+    { layout = cols; per_node = Array.make n []; control = all;
+      dist = Dms.Distprop.Single_node }
+
+(* -- serial step execution -- *)
+
+let serial_step_time t (op : Memo.Physop.t) (out_rows : float) (in_rows : float list) =
+  let work = Serialopt.Cost.local_cost op ~out:out_rows ~inputs:in_rows in
+  work *. t.hw.serial_unit
+
+(** Execute a serial operator on every node holding data. *)
+let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream =
+  let on_control =
+    List.exists (fun c -> c.dist = Dms.Distprop.Single_node) children
+    || (children = []
+        && match op with
+        | Memo.Physop.Const_empty _ -> false
+        | _ -> false)
+  in
+  if on_control then begin
+    (* all children must be on the control node (or replicated) *)
+    let csets =
+      List.map
+        (fun c ->
+           match c.dist with
+           | Dms.Distprop.Single_node -> { Local.layout = c.layout; rows = c.control }
+           | Dms.Distprop.Replicated ->
+             { Local.layout = c.layout;
+               rows = (if Array.length c.per_node > 0 then c.per_node.(0) else []) }
+           | Dms.Distprop.Hashed _ ->
+             raise (Local.Exec_error "mixed control/distributed serial step"))
+        children
+    in
+    let r = Local.exec_op ~read_table:(fun name -> node_table t 0 name) op csets in
+    let step =
+      serial_step_time t op
+        (float_of_int (List.length r.Local.rows))
+        (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
+    in
+    t.account.sim_time <- t.account.sim_time +. step;
+    { layout = r.Local.layout; per_node = Array.make t.nodes []; control = r.Local.rows;
+      dist = Dms.Distprop.Single_node }
+  end
+  else begin
+    let outs = Array.make t.nodes { Local.layout = []; rows = [] } in
+    let max_step = ref 0. in
+    for node = 0 to t.nodes - 1 do
+      let csets =
+        List.map
+          (fun c -> { Local.layout = c.layout;
+                      rows = (if Array.length c.per_node > 0 then c.per_node.(node) else []) })
+          children
+      in
+      let r = Local.exec_op ~read_table:(fun name -> node_table t node name) op csets in
+      outs.(node) <- r;
+      let step =
+        serial_step_time t op
+          (float_of_int (List.length r.Local.rows))
+          (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
+      in
+      if step > !max_step then max_step := step
+    done;
+    t.account.sim_time <- t.account.sim_time +. !max_step;
+    let layout = outs.(0).Local.layout in
+    { layout; per_node = Array.map (fun r -> r.Local.rows) outs; control = [];
+      dist = Dms.Distprop.Hashed [] (* refined by caller *) }
+  end
+
+(* -- full distributed plan execution -- *)
+
+(** Execute a PDW plan on the appliance. Returns the final client result
+    (rows + layout); accounting accumulates in [t.account]. *)
+let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
+  match p.Pdwopt.Pplan.op with
+  | Pdwopt.Pplan.Return { sort; limit } ->
+    let child =
+      match p.Pdwopt.Pplan.children with
+      | [ c ] -> exec_node t c
+      | _ -> raise (Local.Exec_error "Return expects one child")
+    in
+    let all = stream_rows child in
+    (* streamed gather: network accounting only, no temp table *)
+    (match child.dist with
+     | Dms.Distprop.Single_node -> ()
+     | _ ->
+       let b = rows_bytes all and r = float_of_int (List.length all) in
+       let step = (b *. t.hw.network_byte) +. (r *. t.hw.network_row) in
+       t.account.sim_time <- t.account.sim_time +. step;
+       t.account.bytes_moved <- t.account.bytes_moved +. b);
+    let rset = { Local.layout = child.layout; rows = all } in
+    if sort = [] then
+      (match limit with
+       | Some n -> { rset with Local.rows = List.filteri (fun i _ -> i < n) rset.Local.rows }
+       | None -> rset)
+    else Local.sort_rows ~keys:sort ?limit rset
+  | _ ->
+    let d = exec_node t p in
+    { Local.layout = d.layout; rows = stream_rows d }
+
+and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
+  match p.Pdwopt.Pplan.op with
+  | Pdwopt.Pplan.Serial op ->
+    let children = List.map (exec_node t) p.Pdwopt.Pplan.children in
+    let d = run_serial t op children in
+    { d with dist = p.Pdwopt.Pplan.dist }
+  | Pdwopt.Pplan.Move { kind; cols } ->
+    let child =
+      match p.Pdwopt.Pplan.children with
+      | [ c ] -> exec_node t c
+      | _ -> raise (Local.Exec_error "Move expects one child")
+    in
+    run_move t kind ~cols child
+  | Pdwopt.Pplan.Return _ ->
+    raise (Local.Exec_error "nested Return")
+
+(** Single-node oracle: run a serial plan over the full (unpartitioned)
+    tables. *)
+let run_reference (t : t) (p : Serialopt.Plan.t) : Local.rset =
+  let read_table name =
+    let tbl = Catalog.Shell_db.find_exn t.shell name in
+    match tbl.Catalog.Shell_db.dist with
+    | Catalog.Distribution.Replicated -> node_table t 0 name
+    | Catalog.Distribution.Hash_partitioned _ ->
+      List.concat (List.init t.nodes (fun i -> node_table t i name))
+  in
+  Local.exec_plan ~read_table p

@@ -1,0 +1,7 @@
+(** Library facade: the MEMO structure plus its physical operators and XML
+    interchange encoding. *)
+
+include Memo_def
+module Physop = Physop
+module Xml = Xml
+module Memo_xml = Memo_xml

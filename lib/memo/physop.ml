@@ -1,0 +1,78 @@
+(** Serial physical operators (the white-background operators of the paper's
+    Fig. 3, e.g. Table Scan, Hash Join, Sort). These are the algorithms the
+    single-node executor runs; the PDW optimizer layers data movement around
+    them. *)
+
+open Algebra
+
+type t =
+  | Table_scan of { table : string; alias : string; cols : int array }
+  | Filter of Expr.t
+  | Compute of (int * Expr.t) list        (** physical project *)
+  | Hash_join of { kind : Relop.join_kind; pred : Expr.t }
+  | Merge_join of { kind : Relop.join_kind; pred : Expr.t }
+      (** requires both inputs sorted on the equi-join columns *)
+  | Nl_join of { kind : Relop.join_kind; pred : Expr.t }
+  | Hash_agg of { keys : int list; aggs : Expr.agg_def list }
+  | Stream_agg of { keys : int list; aggs : Expr.agg_def list }
+      (** requires input sorted on the grouping keys *)
+  | Sort_op of { keys : Relop.sort_key list; limit : int option }
+  | Union_op      (** 2 children; right input pre-projected onto left ids *)
+  | Const_empty of int list
+
+let name = function
+  | Table_scan _ -> "TableScan"
+  | Filter _ -> "Filter"
+  | Compute _ -> "Compute"
+  | Hash_join { kind; _ } ->
+    (match kind with
+     | Relop.Inner | Relop.Cross -> "HashJoin"
+     | Relop.Left_outer -> "HashLeftOuterJoin"
+     | Relop.Semi -> "HashSemiJoin"
+     | Relop.Anti_semi -> "HashAntiSemiJoin")
+  | Merge_join _ -> "MergeJoin"
+  | Nl_join _ -> "NestedLoopJoin"
+  | Hash_agg _ -> "HashAggregate"
+  | Stream_agg _ -> "StreamAggregate"
+  | Sort_op _ -> "Sort"
+  | Union_op -> "UnionAll"
+  | Const_empty _ -> "ConstEmpty"
+
+(** Equality pairs (left col, right col) of a join predicate, oriented
+    against the given child output column sets. *)
+let oriented_equi_pairs pred ~left_cols ~right_cols =
+  List.filter_map
+    (fun (a, b) ->
+       if Registry.Col_set.mem a left_cols && Registry.Col_set.mem b right_cols then
+         Some (a, b)
+       else if Registry.Col_set.mem b left_cols && Registry.Col_set.mem a right_cols then
+         Some (b, a)
+       else None)
+    (Expr.equi_pairs pred)
+
+let to_string reg op =
+  let e = Expr.to_string reg in
+  match op with
+  | Table_scan { table; alias; _ } ->
+    if String.lowercase_ascii table = String.lowercase_ascii alias then
+      Printf.sprintf "TableScan(%s)" table
+    else Printf.sprintf "TableScan(%s AS %s)" table alias
+  | Filter p -> Printf.sprintf "Filter[%s]" (e p)
+  | Compute defs ->
+    Printf.sprintf "Compute[%s]"
+      (String.concat ", "
+         (List.map (fun (c, ex) -> Printf.sprintf "%s := %s" (Registry.label reg c) (e ex)) defs))
+  | Hash_join { pred; _ } as op -> Printf.sprintf "%s[%s]" (name op) (e pred)
+  | Merge_join { pred; _ } -> Printf.sprintf "MergeJoin[%s]" (e pred)
+  | Nl_join { pred; _ } -> Printf.sprintf "NestedLoopJoin[%s]" (e pred)
+  | Hash_agg { keys; aggs } | Stream_agg { keys; aggs } ->
+    Printf.sprintf "%s[keys=%s; %s]" (name op)
+      (String.concat "," (List.map (Registry.label reg) keys))
+      (String.concat ", " (List.map (Expr.agg_to_string_with (Registry.label reg)) aggs))
+  | Sort_op { keys; limit } ->
+    Printf.sprintf "Sort[%s%s]"
+      (String.concat ", "
+         (List.map (fun k -> e k.Relop.key ^ (if k.Relop.desc then " DESC" else " ASC")) keys))
+      (match limit with Some n -> Printf.sprintf "; TOP %d" n | None -> "")
+  | Union_op -> "UnionAll"
+  | Const_empty _ -> "ConstEmpty"

@@ -1,0 +1,152 @@
+(** Top-down property derivation over the imported MEMO (paper Fig. 4
+    step 04: "Derive interesting properties of groups (top-down)").
+
+    Two properties are derived per group:
+    - {b interesting columns} (§3.2): candidate hash-distribution column
+      lists — columns referenced in equality join predicates (they make
+      local and directed joins possible) and group-by columns (they allow
+      local aggregation without a local/global split);
+    - {b required columns}: the columns a group's output must physically
+      carry for the operators above it — this determines the row width [w]
+      of any data movement of that group's stream (DMS extracts only the
+      needed columns, as in the paper's Fig. 7 SQL). *)
+
+open Algebra
+open Memo
+
+type t = {
+  interesting : (int, int list list) Hashtbl.t;  (** group -> hash col lists *)
+  required : (int, Registry.Col_set.t) Hashtbl.t;
+}
+
+let interesting t gid =
+  match Hashtbl.find_opt t.interesting gid with Some l -> l | None -> []
+
+let required t gid =
+  match Hashtbl.find_opt t.required gid with
+  | Some s -> s
+  | None -> Registry.Col_set.empty
+
+let add_interesting t gid cols =
+  if cols <> [] then begin
+    let cur = interesting t gid in
+    if not (List.mem cols cur) then Hashtbl.replace t.interesting gid (cols :: cur)
+  end
+
+let local_refs_of_op (op : Memo.op) : Registry.Col_set.t =
+  match op with
+  | Logical l -> Relop.local_refs { Relop.op = l; children = [] }
+  | Physical p ->
+    (match p with
+     | Physop.Table_scan _ | Physop.Const_empty _ -> Registry.Col_set.empty
+     | Physop.Filter e -> Expr.cols e
+     | Physop.Compute defs -> Expr.cols_of_list (List.map snd defs)
+     | Physop.Hash_join { pred; _ } | Physop.Merge_join { pred; _ }
+     | Physop.Nl_join { pred; _ } -> Expr.cols pred
+     | Physop.Hash_agg { keys; aggs } | Physop.Stream_agg { keys; aggs } ->
+       List.fold_left
+         (fun acc a ->
+            match a.Expr.agg_arg with
+            | Some e -> Registry.Col_set.union acc (Expr.cols e)
+            | None -> acc)
+         (Registry.Col_set.of_list keys) aggs
+     | Physop.Sort_op { keys; _ } -> Expr.cols_of_list (List.map (fun k -> k.Relop.key) keys)
+     | Physop.Union_op -> Registry.Col_set.empty)
+
+(** Join equi columns and group-by keys contributed by one expression, per
+    child. *)
+let expr_interesting (m : Memo.t) (e : gexpr) : (int * int list list) list =
+  match e.op with
+  | Logical (Relop.Join { pred; _ })
+  | Physical (Physop.Hash_join { pred; _ } | Physop.Merge_join { pred; _ }
+             | Physop.Nl_join { pred; _ })
+    when Array.length e.children = 2 ->
+    let l = Memo.find m e.children.(0) and r = Memo.find m e.children.(1) in
+    let lcols = (Memo.props m l).cols and rcols = (Memo.props m r).cols in
+    let equi = Physop.oriented_equi_pairs pred ~left_cols:lcols ~right_cols:rcols in
+    if equi = [] then []
+    else begin
+      let singles_l = List.map (fun (a, _) -> [ a ]) equi in
+      let singles_r = List.map (fun (_, b) -> [ b ]) equi in
+      let full_l = if List.length equi > 1 then [ List.map fst equi ] else [] in
+      let full_r = if List.length equi > 1 then [ List.map snd equi ] else [] in
+      [ (l, singles_l @ full_l); (r, singles_r @ full_r) ]
+    end
+  | Logical (Relop.Group_by { keys; _ })
+  | Physical (Physop.Hash_agg { keys; _ } | Physop.Stream_agg { keys; _ })
+    when Array.length e.children = 1 && keys <> [] ->
+    let c = Memo.find m e.children.(0) in
+    let singles = List.map (fun k -> [ k ]) keys in
+    let full = if List.length keys > 1 then [ keys ] else [] in
+    [ (c, singles @ full) ]
+  | _ -> []
+
+(** Run the full derivation (fixpoint over the DAG). *)
+let derive (m : Memo.t) : t =
+  let t = { interesting = Hashtbl.create 64; required = Hashtbl.create 64 } in
+  (* seed: root must deliver all its output columns *)
+  let root = Memo.root m in
+  Hashtbl.replace t.required root (Memo.props m root).cols;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Memo.iter_groups m (fun g ->
+        let gid = g.Memo.gid in
+        let req_here = required t gid in
+        List.iter
+          (fun (e : gexpr) ->
+             (* interesting columns contributed by this expression *)
+             List.iter
+               (fun (child, lists) ->
+                  List.iter
+                    (fun l ->
+                       let cur = interesting t child in
+                       if not (List.mem l cur) then begin
+                         add_interesting t child l;
+                         changed := true
+                       end)
+                    lists)
+               (expr_interesting m e);
+             (* interesting properties of this group flow to children that
+                cover them (movement below a pass-through is equivalent) *)
+             Array.iter
+               (fun c ->
+                  let c = Memo.find m c in
+                  let ccols = (Memo.props m c).cols in
+                  List.iter
+                    (fun l ->
+                       if List.for_all (fun x -> Registry.Col_set.mem x ccols) l then begin
+                         let cur = interesting t c in
+                         if not (List.mem l cur) then begin
+                           add_interesting t c l;
+                           changed := true
+                         end
+                       end)
+                    (interesting t gid))
+               e.children;
+             (* required columns *)
+             let need = Registry.Col_set.union req_here (local_refs_of_op e.op) in
+             Array.iter
+               (fun c ->
+                  let c = Memo.find m c in
+                  let ccols = (Memo.props m c).cols in
+                  let down = Registry.Col_set.inter need ccols in
+                  let cur = required t c in
+                  if not (Registry.Col_set.subset down cur) then begin
+                    Hashtbl.replace t.required c (Registry.Col_set.union cur down);
+                    changed := true
+                  end)
+               e.children)
+          (Memo.exprs m gid))
+  done;
+  t
+
+(** Row width (bytes) of the columns a moved stream of group [gid] carries. *)
+let moved_width (m : Memo.t) t gid : float * int list =
+  let req = Registry.Col_set.inter (required t gid) (Memo.props m gid).cols in
+  let cols =
+    if Registry.Col_set.is_empty req then Registry.Col_set.elements (Memo.props m gid).cols
+    else Registry.Col_set.elements req
+  in
+  let w = List.fold_left (fun acc c -> acc +. Registry.width m.Memo.reg c) 0. cols in
+  (Float.max 1. w, cols)

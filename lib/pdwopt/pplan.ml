@@ -1,0 +1,90 @@
+(** Parallel (distributed) execution plans: serial physical operators
+    composed with data movement operations, each node annotated with its
+    output distribution, cardinality, and cumulative costs. *)
+
+open Algebra
+
+type pop =
+  | Serial of Memo.Physop.t
+      (** executed locally on every node holding a share of the input *)
+  | Move of { kind : Dms.Op.kind; cols : int list }
+      (** a DMS operation; [cols] is the projected column list physically
+          carried by the stream (and materialized into the temp table) *)
+  | Return of { sort : Relop.sort_key list; limit : int option }
+      (** final gather: stream results to the client through the control
+          node, merging/sorting and applying TOP if required *)
+
+type t = {
+  op : pop;
+  children : t list;
+  dist : Dms.Distprop.t;     (** output distribution *)
+  rows : float;              (** estimated global output cardinality *)
+  group : int;               (** originating MEMO group (-1 if synthetic) *)
+  dms_cost : float;          (** cumulative DMS cost (paper's optimization metric) *)
+  serial_cost : float;       (** cumulative per-node relational work (tie-break) *)
+}
+
+let op_to_string reg = function
+  | Serial p -> Memo.Physop.to_string reg p
+  | Move { kind; _ } -> Printf.sprintf "DMS %s" (Dms.Op.to_string reg kind)
+  | Return { sort; limit } ->
+    Printf.sprintf "Return%s%s"
+      (if sort = [] then ""
+       else
+         Printf.sprintf "[order by %s]"
+           (String.concat ", "
+              (List.map
+                 (fun k ->
+                    Expr.to_string reg k.Relop.key ^ (if k.Relop.desc then " DESC" else ""))
+                 sort)))
+      (match limit with Some n -> Printf.sprintf "[top %d]" n | None -> "")
+
+let rec pp reg ppf t =
+  let open Format in
+  let head =
+    Printf.sprintf "%s  {%s, rows=%.0f, dms=%.4gs}" (op_to_string reg t.op)
+      (Dms.Distprop.to_string reg t.dist) t.rows t.dms_cost
+  in
+  match t.children with
+  | [] -> fprintf ppf "%s" head
+  | children ->
+    fprintf ppf "@[<v 2>%s" head;
+    List.iter (fun c -> fprintf ppf "@,%a" (pp reg) c) children;
+    fprintf ppf "@]"
+
+let to_string reg t = Format.asprintf "%a" (pp reg) t
+
+let rec size t = 1 + List.fold_left (fun a c -> a + size c) 0 t.children
+
+(** Number of data movement operations in the plan. *)
+let rec move_count t =
+  (match t.op with Move _ -> 1 | _ -> 0)
+  + List.fold_left (fun a c -> a + move_count c) 0 t.children
+
+(** All movement kinds in the plan, outside-in. *)
+let rec moves t =
+  (match t.op with Move { kind; _ } -> [ kind ] | _ -> [])
+  @ List.concat_map moves t.children
+
+(** Output column layout in execution order. *)
+let rec output_layout t : int list =
+  match t.op, t.children with
+  | Serial p, children ->
+    (match p, children with
+     | Memo.Physop.Table_scan { cols; _ }, _ -> Array.to_list cols
+     | Memo.Physop.Filter _, [ c ] -> output_layout c
+     | Memo.Physop.Compute defs, _ -> List.map fst defs
+     | ( Memo.Physop.Hash_join { kind; _ } | Memo.Physop.Merge_join { kind; _ }
+       | Memo.Physop.Nl_join { kind; _ } ), [ l; r ] ->
+       (match kind with
+        | Relop.Semi | Relop.Anti_semi -> output_layout l
+        | _ -> output_layout l @ output_layout r)
+     | (Memo.Physop.Hash_agg { keys; aggs } | Memo.Physop.Stream_agg { keys; aggs }), _ ->
+       keys @ List.map (fun a -> a.Expr.agg_out) aggs
+     | Memo.Physop.Sort_op _, [ c ] -> output_layout c
+     | Memo.Physop.Union_op, [ l; _ ] -> output_layout l
+     | Memo.Physop.Const_empty cols, _ -> cols
+     | _ -> invalid_arg "Pplan.output_layout: malformed serial node")
+  | Move { cols; _ }, _ -> cols
+  | Return _, [ c ] -> output_layout c
+  | Return _, _ -> invalid_arg "Pplan.output_layout: malformed return"

@@ -1,0 +1,48 @@
+(** Serial (single-node) cost model for physical operators.
+
+    The serial optimizer is deliberately unaware of partitioning (paper
+    §3.2: "The SQL Server optimizer is unaware of the partitioning of
+    data"); its costs are abstract per-row work units used to rank serial
+    alternatives and to pick the baseline "best serial plan". *)
+
+open Memo
+
+(* per-row work constants (abstract time units) *)
+let c_scan = 1.0
+let c_filter = 0.4
+let c_compute = 0.4
+let c_hash_build = 2.0
+let c_hash_probe = 1.2
+let c_merge = 0.8
+let c_nl_pair = 0.6
+let c_agg = 1.5
+let c_stream_agg = 0.8
+let c_sort_per_cmp = 0.15
+let c_output = 0.2
+
+let log2 x = if x <= 2. then 1. else Float.log x /. Float.log 2.
+
+(** Local cost of one operator, excluding children.
+    [out] is the operator's output cardinality, [inputs] its children's. *)
+let local_cost (op : Physop.t) ~(out : float) ~(inputs : float list) : float =
+  let input n = try List.nth inputs n with _ -> 0. in
+  match op with
+  | Physop.Table_scan _ -> (out *. c_scan) +. (out *. c_output)
+  | Physop.Filter _ -> (input 0 *. c_filter) +. (out *. c_output)
+  | Physop.Compute _ -> (input 0 *. c_compute) +. (out *. c_output)
+  | Physop.Hash_join _ ->
+    (input 1 *. c_hash_build) +. (input 0 *. c_hash_probe) +. (out *. c_output)
+  | Physop.Merge_join _ -> ((input 0 +. input 1) *. c_merge) +. (out *. c_output)
+  | Physop.Nl_join _ -> (input 0 *. input 1 *. c_nl_pair) +. (out *. c_output)
+  | Physop.Hash_agg _ -> (input 0 *. c_agg) +. (out *. c_output)
+  | Physop.Stream_agg _ -> (input 0 *. c_stream_agg) +. (out *. c_output)
+  | Physop.Sort_op _ ->
+    let n = Float.max 1. (input 0) in
+    (n *. log2 n *. c_sort_per_cmp) +. (out *. c_output)
+  | Physop.Union_op -> (input 0 +. input 1) *. c_output
+  | Physop.Const_empty _ -> 0.
+
+(** Cost of an enforcer sort over [rows] input rows. *)
+let sort_enforcer_cost rows =
+  let n = Float.max 1. rows in
+  (n *. log2 n *. c_sort_per_cmp) +. (n *. c_output)

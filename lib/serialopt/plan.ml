@@ -1,0 +1,42 @@
+(** Serial physical plan trees (the "best serial plan" of paper §2.5, and
+    the building blocks the PDW optimizer composes with data movement). *)
+
+open Memo
+
+type t = {
+  op : Physop.t;
+  children : t list;
+  card : float;    (** estimated output rows *)
+  cost : float;    (** cumulative serial cost *)
+}
+
+let rec pp reg ppf t =
+  let open Format in
+  match t.children with
+  | [] -> fprintf ppf "%s  (rows=%.0f cost=%.0f)" (Physop.to_string reg t.op) t.card t.cost
+  | children ->
+    fprintf ppf "@[<v 2>%s  (rows=%.0f cost=%.0f)" (Physop.to_string reg t.op) t.card t.cost;
+    List.iter (fun c -> fprintf ppf "@,%a" (pp reg) c) children;
+    fprintf ppf "@]"
+
+let to_string reg t = Format.asprintf "%a" (pp reg) t
+
+let rec size t = 1 + List.fold_left (fun a c -> a + size c) 0 t.children
+
+(** Output column layout of a physical plan node, in execution order. *)
+let rec output_layout t : int list =
+  match t.op, t.children with
+  | Physop.Table_scan { cols; _ }, _ -> Array.to_list cols
+  | Physop.Filter _, [ c ] -> output_layout c
+  | Physop.Compute defs, _ -> List.map fst defs
+  | (Physop.Hash_join { kind; _ } | Physop.Merge_join { kind; _ } | Physop.Nl_join { kind; _ }),
+    [ l; r ] ->
+    (match kind with
+     | Algebra.Relop.Semi | Algebra.Relop.Anti_semi -> output_layout l
+     | _ -> output_layout l @ output_layout r)
+  | (Physop.Hash_agg { keys; aggs } | Physop.Stream_agg { keys; aggs }), _ ->
+    keys @ List.map (fun a -> a.Algebra.Expr.agg_out) aggs
+  | Physop.Sort_op _, [ c ] -> output_layout c
+  | Physop.Union_op, [ l; _ ] -> output_layout l
+  | Physop.Const_empty cols, _ -> cols
+  | _ -> invalid_arg "Plan.output_layout: malformed plan"

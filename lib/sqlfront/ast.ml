@@ -1,0 +1,99 @@
+(** Abstract syntax for the SQL subset accepted by the PDW parser
+    (paper Fig. 2, component 1).
+
+    The subset covers everything the paper's examples need: multi-way joins
+    (comma and ANSI JOIN syntax), WHERE/GROUP BY/HAVING/ORDER BY/TOP,
+    aggregates, IN / EXISTS / scalar subqueries (correlated or not), LIKE,
+    BETWEEN, CASE, date arithmetic (DATEADD), and CAST. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type agg = Count_star | Count | Sum | Avg | Min | Max
+
+type order_dir = Asc | Desc
+
+(** Distributed-execution query hints (paper §3.1): the PDW query surface
+    adds "a handful of query hints for specific distributed execution
+    strategies", given as a trailing [OPTION (...)] clause. *)
+type hint =
+  | Hint_broadcast of string   (** OPTION (BROADCAST alias): replicate this
+                                   table's stream before it is joined *)
+  | Hint_shuffle of string     (** OPTION (SHUFFLE alias): keep this table's
+                                   stream hash-partitioned (never replicate) *)
+  | Hint_force_order           (** OPTION (FORCE ORDER): no join reordering *)
+
+type expr =
+  | Col of string option * string          (** [qualifier.]column *)
+  | Lit of Catalog.Value.t
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Is_null of { e : expr; negated : bool }
+  | Like of { e : expr; pattern : string; negated : bool }
+  | In_list of { e : expr; items : expr list; negated : bool }
+  | In_query of { e : expr; q : query; negated : bool }
+  | Exists of { q : query; negated : bool }
+  | Between of { e : expr; lo : expr; hi : expr; negated : bool }
+  | Agg of { func : agg; distinct : bool; arg : expr option }
+  | Func of string * expr list             (** DATEADD, YEAR, SUBSTRING, ... *)
+  | Case of { branches : (expr * expr) list; else_ : expr option }
+  | Scalar_query of query                  (** (SELECT single-value ...) *)
+  | Cast of expr * Catalog.Types.t
+
+and select_item =
+  | Sel_expr of expr * string option       (** expression [AS alias] *)
+  | Sel_star of string option              (** [table.]* *)
+
+and table_ref =
+  | Tref_table of { name : string; alias : string option }
+  | Tref_subquery of { q : query; alias : string }
+  | Tref_join of { left : table_ref; kind : join_kind; right : table_ref;
+                   on : expr option }
+
+and join_kind = Jinner | Jleft | Jright | Jcross
+
+and query = {
+  distinct : bool;
+  top : int option;
+  select : select_item list;
+  from : table_ref list;                   (** comma-separated FROM items *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  union_all : query option;
+      (** [SELECT ... UNION ALL <query>]; ORDER BY/TOP above apply to the
+          whole union *)
+  hints : hint list;           (** trailing OPTION (...) clause, root only *)
+}
+
+let query ?(distinct = false) ?top ?(from = []) ?where ?(group_by = []) ?having
+    ?(order_by = []) ?union_all ?(hints = []) select =
+  { distinct; top; select; from; where; group_by; having; order_by; union_all; hints }
+
+let col ?tbl name = Col (tbl, name)
+let lit v = Lit v
+let int_ n = Lit (Catalog.Value.Int n)
+let str s = Lit (Catalog.Value.String s)
+
+(* Conjunction-splitting helpers used throughout the optimizer. *)
+let rec conjuncts = function
+  | Bin (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> Bin (And, acc, c)) e rest)
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let string_of_agg = function
+  | Count_star -> "COUNT" | Count -> "COUNT" | Sum -> "SUM" | Avg -> "AVG"
+  | Min -> "MIN" | Max -> "MAX"

@@ -1,0 +1,449 @@
+(** Recursive-descent parser for the SQL subset (PDW parser, paper Fig. 2
+    component 1). *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Lexer.EOF
+let advance st = st.pos <- st.pos + 1
+
+let error st msg =
+  let tok = peek st in
+  raise (Parse_error (Printf.sprintf "%s (at token %s)" msg (Lexer.token_to_string tok)))
+
+let expect st tok msg =
+  if peek st = tok then advance st else error st msg
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let accept_kw st kw = match peek st with
+  | Lexer.KW k when k = kw -> advance st; true
+  | _ -> false
+
+let expect_kw st kw = if not (accept_kw st kw) then error st (Printf.sprintf "expected %s" kw)
+
+let ident st = match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> error st "expected identifier"
+
+(* Multi-part names like [tpch].[dbo].[lineitem]: keep the last component. *)
+let qualified_name st =
+  let first = ident st in
+  let rec go last =
+    if peek st = Lexer.DOT && (match peek2 st with Lexer.IDENT _ -> true | _ -> false)
+    then begin advance st; go (ident st) end
+    else last
+  in
+  go first
+
+let type_name st =
+  let name = String.uppercase_ascii (match peek st with
+    | Lexer.IDENT s -> advance st; s
+    | Lexer.KW k -> advance st; k
+    | _ -> error st "expected type name")
+  in
+  (* swallow optional (p[,s]) *)
+  if accept st Lexer.LPAREN then begin
+    let rec skip depth =
+      match peek st with
+      | Lexer.RPAREN -> advance st; if depth > 1 then skip (depth - 1)
+      | Lexer.LPAREN -> advance st; skip (depth + 1)
+      | Lexer.EOF -> error st "unterminated type arguments"
+      | _ -> advance st; skip depth
+    in
+    skip 1
+  end;
+  match name with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" -> Catalog.Types.Tint
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Catalog.Types.Tfloat
+  | "VARCHAR" | "CHAR" | "NVARCHAR" | "TEXT" -> Catalog.Types.Tstring
+  | "DATE" | "DATETIME" | "TIMESTAMP" -> Catalog.Types.Tdate
+  | "BOOL" | "BOOLEAN" | "BIT" -> Catalog.Types.Tbool
+  | t -> raise (Parse_error ("unknown type " ^ t))
+
+let int_lit st = match peek st with
+  | Lexer.INT n -> advance st; n
+  | _ -> error st "expected integer literal"
+
+let rec parse_query st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let top = if accept_kw st "TOP" then Some (int_lit st) else None in
+  let select = parse_select_list st in
+  let from =
+    if accept_kw st "FROM" then begin
+      let rec items acc =
+        let t = parse_table_ref st in
+        if accept st Lexer.COMMA then items (t :: acc) else List.rev (t :: acc)
+      in
+      items []
+    end else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec items acc =
+        let e = parse_expr st in
+        if accept st Lexer.COMMA then items (e :: acc) else List.rev (e :: acc)
+      in
+      items []
+    end else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  (* UNION ALL chains right-recursively; the trailing ORDER BY/TOP belong to
+     the whole union and are carried by the last block *)
+  let union_all =
+    if accept_kw st "UNION" then begin
+      expect_kw st "ALL";
+      Some (parse_query st)
+    end else None
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec items acc =
+        let e = parse_expr st in
+        let dir = if accept_kw st "DESC" then Desc else (ignore (accept_kw st "ASC"); Asc) in
+        if accept st Lexer.COMMA then items ((e, dir) :: acc) else List.rev ((e, dir) :: acc)
+      in
+      items []
+    end else []
+  in
+  let top = if top = None && accept_kw st "LIMIT" then Some (int_lit st) else top in
+  let hints =
+    match peek st with
+    | Lexer.IDENT id when String.uppercase_ascii id = "OPTION" ->
+      advance st;
+      expect st Lexer.LPAREN "expected ( after OPTION";
+      let word () =
+        match peek st with
+        | Lexer.IDENT s -> advance st; String.uppercase_ascii s
+        | Lexer.KW k -> advance st; k
+        | _ -> error st "expected hint word"
+      in
+      let rec items acc =
+        let h =
+          match word () with
+          | "BROADCAST" -> Hint_broadcast (ident st)
+          | "SHUFFLE" -> Hint_shuffle (ident st)
+          | "FORCE" ->
+            (match word () with
+             | "ORDER" -> Hint_force_order
+             | _ -> error st "expected FORCE ORDER")
+          | _ -> error st "unknown hint (BROADCAST t | SHUFFLE t | FORCE ORDER)"
+        in
+        if accept st Lexer.COMMA then items (h :: acc)
+        else begin
+          expect st Lexer.RPAREN "expected ) after hints";
+          List.rev (h :: acc)
+        end
+      in
+      items []
+    | _ -> []
+  in
+  { distinct; top; select; from; where; group_by; having; order_by; union_all; hints }
+
+and parse_select_list st =
+  let item () =
+    match peek st with
+    | Lexer.STAR -> advance st; Sel_star None
+    | Lexer.IDENT t when peek2 st = Lexer.DOT ->
+      (* could be tbl.* or tbl.col; look one further *)
+      let save = st.pos in
+      advance st; advance st;
+      if peek st = Lexer.STAR then begin advance st; Sel_star (Some t) end
+      else begin st.pos <- save; parse_aliased_expr st end
+    | _ -> parse_aliased_expr st
+  in
+  let rec go acc =
+    let it = item () in
+    if accept st Lexer.COMMA then go (it :: acc) else List.rev (it :: acc)
+  in
+  go []
+
+and parse_aliased_expr st =
+  let e = parse_expr st in
+  let alias =
+    if accept_kw st "AS" then Some (ident st)
+    else match peek st with
+      | Lexer.IDENT s -> advance st; Some s
+      | _ -> None
+  in
+  Sel_expr (e, alias)
+
+and parse_table_ref st =
+  let rec joins left =
+    let kind =
+      if accept_kw st "INNER" then (expect_kw st "JOIN"; Some Jinner)
+      else if accept_kw st "LEFT" then (ignore (accept_kw st "OUTER"); expect_kw st "JOIN"; Some Jleft)
+      else if accept_kw st "RIGHT" then (ignore (accept_kw st "OUTER"); expect_kw st "JOIN"; Some Jright)
+      else if accept_kw st "CROSS" then (expect_kw st "JOIN"; Some Jcross)
+      else if accept_kw st "JOIN" then Some Jinner
+      else None
+    in
+    match kind with
+    | None -> left
+    | Some kind ->
+      let right = parse_primary_tref st in
+      let on = if accept_kw st "ON" then Some (parse_expr st) else None in
+      joins (Tref_join { left; kind; right; on })
+  in
+  joins (parse_primary_tref st)
+
+and parse_primary_tref st =
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    match peek st with
+    | Lexer.KW "SELECT" ->
+      let q = parse_query st in
+      expect st Lexer.RPAREN "expected ) after subquery";
+      ignore (accept_kw st "AS");
+      let alias = ident st in
+      Tref_subquery { q; alias }
+    | _ ->
+      let t = parse_table_ref st in
+      expect st Lexer.RPAREN "expected ) after table reference";
+      t
+  end else begin
+    let name = qualified_name st in
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else match peek st with
+        | Lexer.IDENT s when String.uppercase_ascii s <> "OPTION" -> advance st; Some s
+        | _ -> None
+    in
+    Tref_table { name; alias }
+  end
+
+(* -- expressions: OR < AND < NOT < predicate < additive < mult < unary -- *)
+
+and parse_expr st = parse_or st
+
+and parse_or st =
+  let rec go left =
+    if accept_kw st "OR" then go (Bin (Or, left, parse_and st)) else left
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go left =
+    if accept_kw st "AND" then go (Bin (And, left, parse_not st)) else left
+  in
+  go (parse_not st)
+
+and parse_not st =
+  if accept_kw st "NOT" then Un (Not, parse_not st)
+  else parse_predicate st
+
+and parse_predicate st =
+  (* EXISTS as a standalone predicate *)
+  if (match peek st with Lexer.KW "EXISTS" -> true | _ -> false) then begin
+    advance st;
+    expect st Lexer.LPAREN "expected ( after EXISTS";
+    let q = parse_query st in
+    expect st Lexer.RPAREN "expected ) after EXISTS subquery";
+    Exists { q; negated = false }
+  end else begin
+    let left = parse_additive st in
+    let negated = accept_kw st "NOT" in
+    match peek st with
+    | Lexer.EQ | Lexer.NE | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE when not negated ->
+      let op = match peek st with
+        | Lexer.EQ -> Eq | Lexer.NE -> Ne | Lexer.LT -> Lt
+        | Lexer.LE -> Le | Lexer.GT -> Gt | _ -> Ge
+      in
+      advance st;
+      Bin (op, left, parse_additive st)
+    | Lexer.KW "IS" when not negated ->
+      advance st;
+      let neg = accept_kw st "NOT" in
+      expect_kw st "NULL";
+      Is_null { e = left; negated = neg }
+    | Lexer.KW "IN" ->
+      advance st;
+      expect st Lexer.LPAREN "expected ( after IN";
+      (match peek st with
+       | Lexer.KW "SELECT" ->
+         let q = parse_query st in
+         expect st Lexer.RPAREN "expected ) after IN subquery";
+         In_query { e = left; q; negated }
+       | _ ->
+         let rec items acc =
+           let e = parse_expr st in
+           if accept st Lexer.COMMA then items (e :: acc) else List.rev (e :: acc)
+         in
+         let items = items [] in
+         expect st Lexer.RPAREN "expected ) after IN list";
+         In_list { e = left; items; negated })
+    | Lexer.KW "LIKE" ->
+      advance st;
+      (match peek st with
+       | Lexer.STRING p -> advance st; Like { e = left; pattern = p; negated }
+       | Lexer.KW "CAST" ->
+         (* LIKE CAST ('forest%' AS VARCHAR (7)) — as in the paper's Fig. 7 *)
+         (match parse_primary st with
+          | Cast (Lit (Catalog.Value.String p), _) -> Like { e = left; pattern = p; negated }
+          | _ -> error st "LIKE pattern must be a string literal")
+       | _ -> error st "LIKE pattern must be a string literal")
+    | Lexer.KW "BETWEEN" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      Between { e = left; lo; hi; negated }
+    | _ ->
+      if negated then error st "expected IN, LIKE or BETWEEN after NOT";
+      left
+  end
+
+and parse_additive st =
+  let rec go left =
+    match peek st with
+    | Lexer.PLUS -> advance st; go (Bin (Add, left, parse_mult st))
+    | Lexer.MINUS -> advance st; go (Bin (Sub, left, parse_mult st))
+    | _ -> left
+  in
+  go (parse_mult st)
+
+and parse_mult st =
+  let rec go left =
+    match peek st with
+    | Lexer.STAR -> advance st; go (Bin (Mul, left, parse_unary st))
+    | Lexer.SLASH -> advance st; go (Bin (Div, left, parse_unary st))
+    | Lexer.PERCENT -> advance st; go (Bin (Mod, left, parse_unary st))
+    | _ -> left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS -> advance st; Un (Neg, parse_unary st)
+  | Lexer.PLUS -> advance st; parse_unary st
+  | _ -> parse_primary st
+
+and parse_args st =
+  if accept st Lexer.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st Lexer.COMMA then go (e :: acc)
+      else begin expect st Lexer.RPAREN "expected ) after arguments"; List.rev (e :: acc) end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n -> advance st; Lit (Catalog.Value.Int n)
+  | Lexer.FLOAT f -> advance st; Lit (Catalog.Value.Float f)
+  | Lexer.STRING s -> advance st; Lit (Catalog.Value.String s)
+  | Lexer.KW "NULL" -> advance st; Lit Catalog.Value.Null
+  | Lexer.KW "TRUE" -> advance st; Lit (Catalog.Value.Bool true)
+  | Lexer.KW "FALSE" -> advance st; Lit (Catalog.Value.Bool false)
+  | Lexer.KW "DATE" ->
+    (* DATE '1994-01-01' literal *)
+    advance st;
+    (match peek st with
+     | Lexer.STRING s ->
+       advance st;
+       (match Catalog.Value.date_of_string s with
+        | Some d -> Lit (Catalog.Value.Date d)
+        | None -> raise (Parse_error ("invalid date literal " ^ s)))
+     | _ -> error st "expected date string after DATE")
+  | Lexer.KW "CASE" ->
+    advance st;
+    let branches = ref [] in
+    while (match peek st with Lexer.KW "WHEN" -> true | _ -> false) do
+      advance st;
+      let c = parse_expr st in
+      expect_kw st "THEN";
+      let v = parse_expr st in
+      branches := (c, v) :: !branches
+    done;
+    let else_ = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+    expect_kw st "END";
+    Case { branches = List.rev !branches; else_ }
+  | Lexer.KW "CAST" ->
+    advance st;
+    expect st Lexer.LPAREN "expected ( after CAST";
+    let e = parse_expr st in
+    expect_kw st "AS";
+    let ty = type_name st in
+    expect st Lexer.RPAREN "expected ) after CAST";
+    Cast (e, ty)
+  | Lexer.KW ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") ->
+    let func = match peek st with
+      | Lexer.KW "COUNT" -> Count | Lexer.KW "SUM" -> Sum | Lexer.KW "AVG" -> Avg
+      | Lexer.KW "MIN" -> Min | _ -> Max
+    in
+    advance st;
+    expect st Lexer.LPAREN "expected ( after aggregate";
+    if peek st = Lexer.STAR then begin
+      advance st;
+      expect st Lexer.RPAREN "expected ) after COUNT(*)";
+      Agg { func = Count_star; distinct = false; arg = None }
+    end else begin
+      let distinct = accept_kw st "DISTINCT" in
+      let e = parse_expr st in
+      expect st Lexer.RPAREN "expected ) after aggregate argument";
+      Agg { func; distinct; arg = Some e }
+    end
+  | Lexer.KW "EXISTS" ->
+    advance st;
+    expect st Lexer.LPAREN "expected ( after EXISTS";
+    let q = parse_query st in
+    expect st Lexer.RPAREN "expected ) after EXISTS subquery";
+    Exists { q; negated = false }
+  | Lexer.LPAREN ->
+    advance st;
+    (match peek st with
+     | Lexer.KW "SELECT" ->
+       let q = parse_query st in
+       expect st Lexer.RPAREN "expected ) after scalar subquery";
+       Scalar_query q
+     | _ ->
+       let e = parse_expr st in
+       expect st Lexer.RPAREN "expected )";
+       e)
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      Func (String.uppercase_ascii name, parse_args st)
+    end
+    else if peek st = Lexer.DOT then begin
+      advance st;
+      (* tbl.col *)
+      let c = ident st in
+      Col (Some name, c)
+    end
+    else Col (None, name)
+  | _ -> error st "expected expression"
+
+(** Parse a single SELECT statement. *)
+let parse (sql : string) : query =
+  let toks = Array.of_list (Lexer.tokenize sql) in
+  let st = { toks; pos = 0 } in
+  let q = parse_query st in
+  ignore (accept st Lexer.SEMI);
+  (match peek st with
+   | Lexer.EOF -> ()
+   | _ -> error st "trailing tokens after statement");
+  q
+
+let parse_expr_string (s : string) : expr =
+  let toks = Array.of_list (Lexer.tokenize s) in
+  let st = { toks; pos = 0 } in
+  let e = parse_expr st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | _ -> error st "trailing tokens after expression");
+  e

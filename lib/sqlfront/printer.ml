@@ -1,0 +1,99 @@
+(** Render the SQL AST back to text (used for diagnostics and tests; DSQL
+    generation in {!Dsql} renders optimizer trees, not ASTs). *)
+
+open Ast
+
+let rec expr_to_string e =
+  let p = expr_to_string in
+  match e with
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Lit v -> Catalog.Value.to_sql v
+  | Bin ((And | Or) as op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (p a) (string_of_binop op) (p b)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (p a) (string_of_binop op) (p b)
+  | Un (Neg, a) -> Printf.sprintf "(-%s)" (p a)
+  | Un (Not, a) -> Printf.sprintf "(NOT %s)" (p a)
+  | Is_null { e; negated } ->
+    Printf.sprintf "(%s IS %sNULL)" (p e) (if negated then "NOT " else "")
+  | Like { e; pattern; negated } ->
+    Printf.sprintf "(%s %sLIKE '%s')" (p e) (if negated then "NOT " else "") pattern
+  | In_list { e; items; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (p e) (if negated then "NOT " else "")
+      (String.concat ", " (List.map p items))
+  | In_query { e; q; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (p e) (if negated then "NOT " else "") (to_string q)
+  | Exists { q; negated } ->
+    Printf.sprintf "(%sEXISTS (%s))" (if negated then "NOT " else "") (to_string q)
+  | Between { e; lo; hi; negated } ->
+    Printf.sprintf "(%s %sBETWEEN %s AND %s)" (p e) (if negated then "NOT " else "")
+      (p lo) (p hi)
+  | Agg { func = Count_star; _ } -> "COUNT(*)"
+  | Agg { func; distinct; arg } ->
+    Printf.sprintf "%s(%s%s)" (string_of_agg func) (if distinct then "DISTINCT " else "")
+      (match arg with Some a -> p a | None -> "*")
+  | Func (name, args) -> Printf.sprintf "%s(%s)" name (String.concat ", " (List.map p args))
+  | Case { branches; else_ } ->
+    let b = List.map (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (p c) (p v)) branches in
+    Printf.sprintf "CASE %s%s END" (String.concat " " b)
+      (match else_ with Some e -> " ELSE " ^ p e | None -> "")
+  | Scalar_query q -> Printf.sprintf "(%s)" (to_string q)
+  | Cast (e, ty) ->
+    Printf.sprintf "CAST(%s AS %s)" (p e) (String.uppercase_ascii (Catalog.Types.to_string ty))
+
+and table_ref_to_string = function
+  | Tref_table { name; alias = None } -> name
+  | Tref_table { name; alias = Some a } -> name ^ " " ^ a
+  | Tref_subquery { q; alias } -> Printf.sprintf "(%s) AS %s" (to_string q) alias
+  | Tref_join { left; kind; right; on } ->
+    let k = match kind with
+      | Jinner -> "INNER JOIN" | Jleft -> "LEFT JOIN" | Jright -> "RIGHT JOIN"
+      | Jcross -> "CROSS JOIN"
+    in
+    Printf.sprintf "%s %s %s%s" (table_ref_to_string left) k (table_ref_to_string right)
+      (match on with Some e -> " ON " ^ expr_to_string e | None -> "")
+
+and to_string (q : query) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "SELECT ";
+  if q.distinct then Buffer.add_string b "DISTINCT ";
+  (match q.top with Some n -> Buffer.add_string b (Printf.sprintf "TOP %d " n) | None -> ());
+  let item = function
+    | Sel_star None -> "*"
+    | Sel_star (Some t) -> t ^ ".*"
+    | Sel_expr (e, None) -> expr_to_string e
+    | Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+  in
+  Buffer.add_string b (String.concat ", " (List.map item q.select));
+  if q.from <> [] then begin
+    Buffer.add_string b " FROM ";
+    Buffer.add_string b (String.concat ", " (List.map table_ref_to_string q.from))
+  end;
+  (match q.where with
+   | Some e -> Buffer.add_string b (" WHERE " ^ expr_to_string e)
+   | None -> ());
+  if q.group_by <> [] then begin
+    Buffer.add_string b " GROUP BY ";
+    Buffer.add_string b (String.concat ", " (List.map expr_to_string q.group_by))
+  end;
+  (match q.having with
+   | Some e -> Buffer.add_string b (" HAVING " ^ expr_to_string e)
+   | None -> ());
+  (match q.union_all with
+   | Some tail -> Buffer.add_string b (" UNION ALL " ^ to_string tail)
+   | None -> ());
+  if q.order_by <> [] then begin
+    Buffer.add_string b " ORDER BY ";
+    let one (e, d) = expr_to_string e ^ (match d with Asc -> " ASC" | Desc -> " DESC") in
+    Buffer.add_string b (String.concat ", " (List.map one q.order_by))
+  end;
+  (match q.hints with
+   | [] -> ()
+   | hints ->
+     let one = function
+       | Hint_broadcast t -> "BROADCAST " ^ t
+       | Hint_shuffle t -> "SHUFFLE " ^ t
+       | Hint_force_order -> "FORCE ORDER"
+     in
+     Buffer.add_string b (" OPTION (" ^ String.concat ", " (List.map one hints) ^ ")"));
+  Buffer.contents b

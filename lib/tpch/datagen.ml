@@ -1,0 +1,257 @@
+(** Deterministic, scaled-down TPC-H data generator.
+
+    Replaces dbgen for the simulated appliance (DESIGN.md §4): same schema,
+    same key relationships and value families, at laptop scale. All values
+    derive from a splitmix64 PRNG seeded per (table, row), so generation is
+    order-independent and reproducible. *)
+
+open Catalog
+
+type row = Value.t array
+
+type db = {
+  sf : float;
+  tables : (string * row list) list;   (** table name -> rows *)
+}
+
+(* -- PRNG: splitmix64 -- *)
+
+let splitmix64 seed =
+  let z = Int64.add seed 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type rng = { mutable state : int64 }
+
+let rng_of ~table ~row =
+  let seed = Int64.of_int ((Hashtbl.hash table * 1000003) + row) in
+  { state = splitmix64 seed }
+
+let next r =
+  r.state <- splitmix64 r.state;
+  Int64.to_int (Int64.logand r.state 0x3FFFFFFFFFFFFFFFL)
+
+let rand_int r lo hi = lo + (next r mod max 1 (hi - lo + 1))
+let rand_float r lo hi = lo +. (float_of_int (next r mod 1_000_000) /. 1_000_000. *. (hi -. lo))
+let pick r arr = arr.(next r mod Array.length arr)
+
+(* -- vocabularies (abridged dbgen word lists) -- *)
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [| ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1); ("EGYPT", 4);
+     ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3); ("INDIA", 2); ("INDONESIA", 2);
+     ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0);
+     ("MOROCCO", 0); ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+     ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+     ("UNITED STATES", 1) |]
+
+let p_name_words =
+  [| "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black"; "blanched";
+     "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse"; "chiffon";
+     "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream"; "cyan"; "dark"; "deep";
+     "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest"; "frosted"; "gainsboro";
+     "ghost"; "goldenrod"; "green"; "grey"; "honeydew"; "hot"; "indian"; "ivory";
+     "khaki"; "lace"; "lavender"; "lawn"; "lemon"; "light"; "lime"; "linen"; "magenta";
+     "maroon"; "medium"; "metallic"; "midnight"; "mint"; "misty"; "moccasin"; "navajo";
+     "navy"; "olive"; "orange"; "orchid"; "pale"; "papaya"; "peach"; "peru"; "pink";
+     "plum"; "powder"; "puff"; "purple"; "red"; "rose"; "rosy"; "royal"; "saddle";
+     "salmon"; "sandy"; "seashell"; "sienna"; "sky"; "slate"; "smoke"; "snow"; "spring";
+     "steel"; "tan"; "thistle"; "tomato"; "turquoise"; "violet"; "wheat"; "white"; "yellow" |]
+
+let types1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let types2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let types3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+let containers1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let comment_words =
+  [| "carefully"; "quickly"; "express"; "furiously"; "final"; "ironic"; "pending";
+     "regular"; "special"; "bold"; "even"; "silent"; "unusual"; "slyly"; "requests";
+     "deposits"; "packages"; "accounts"; "theodolites"; "instructions"; "dependencies" |]
+
+let comment r n =
+  let b = Buffer.create 32 in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char b ' ';
+    Buffer.add_string b (pick r comment_words)
+  done;
+  Buffer.contents b
+
+let date_of y m d = Value.Date (Value.days_from_civil ~y ~m ~d)
+let rand_date r ~ylo ~yhi =
+  Value.Date
+    (Value.days_from_civil ~y:(rand_int r ylo yhi) ~m:(rand_int r 1 12) ~d:(rand_int r 1 28))
+
+(* -- row counts at scale factor sf (full TPC-H is sf = 1) -- *)
+
+let counts sf =
+  let n base = max 1 (int_of_float (float_of_int base *. sf)) in
+  object
+    method supplier = n 10_000
+    method customer = n 150_000
+    method part = n 200_000
+    method orders = n 1_500_000
+    method lineitem_per_order = 4   (* 1..7 in dbgen; we draw 1..7, avg 4 *)
+    method partsupp_per_part = 4
+  end
+
+(* -- per-table generators -- *)
+
+let gen_region () =
+  Array.to_list regions
+  |> List.mapi (fun i name ->
+      let r = rng_of ~table:"region" ~row:i in
+      [| Value.Int i; Value.String name; Value.String (comment r 5) |])
+
+let gen_nation () =
+  Array.to_list nations
+  |> List.mapi (fun i (name, region) ->
+      let r = rng_of ~table:"nation" ~row:i in
+      [| Value.Int i; Value.String name; Value.Int region; Value.String (comment r 5) |])
+
+let gen_supplier n =
+  List.init n (fun i ->
+      let k = i + 1 in
+      let r = rng_of ~table:"supplier" ~row:k in
+      let special = rand_int r 0 99 < 5 in
+      [| Value.Int k;
+         Value.String (Printf.sprintf "Supplier#%09d" k);
+         Value.String (comment r 2);
+         Value.Int (rand_int r 0 24);
+         Value.String (Printf.sprintf "%02d-%03d-%03d-%04d" (rand_int r 10 34)
+                         (rand_int r 100 999) (rand_int r 100 999) (rand_int r 1000 9999));
+         Value.Float (rand_float r (-999.99) 9999.99);
+         Value.String
+           (if special then comment r 2 ^ " Customer Complaints " ^ comment r 2
+            else comment r 6) |])
+
+let gen_customer n =
+  List.init n (fun i ->
+      let k = i + 1 in
+      let r = rng_of ~table:"customer" ~row:k in
+      [| Value.Int k;
+         Value.String (Printf.sprintf "Customer#%09d" k);
+         Value.String (comment r 2);
+         Value.Int (rand_int r 0 24);
+         Value.String (Printf.sprintf "%02d-%03d-%03d-%04d" (rand_int r 10 34)
+                         (rand_int r 100 999) (rand_int r 100 999) (rand_int r 1000 9999));
+         Value.Float (rand_float r (-999.99) 9999.99);
+         Value.String (pick r segments);
+         Value.String (comment r 6) |])
+
+let gen_part n =
+  List.init n (fun i ->
+      let k = i + 1 in
+      let r = rng_of ~table:"part" ~row:k in
+      let name =
+        String.concat " " (List.init 5 (fun _ -> pick r p_name_words))
+      in
+      [| Value.Int k;
+         Value.String name;
+         Value.String (Printf.sprintf "Manufacturer#%d" (rand_int r 1 5));
+         Value.String (Printf.sprintf "Brand#%d%d" (rand_int r 1 5) (rand_int r 1 5));
+         Value.String
+           (Printf.sprintf "%s %s %s" (pick r types1) (pick r types2) (pick r types3));
+         Value.Int (rand_int r 1 50);
+         Value.String (Printf.sprintf "%s %s" (pick r containers1) (pick r containers2));
+         Value.Float (900. +. (float_of_int k /. 10.) +. rand_float r 0. 100.);
+         Value.String (comment r 4) |])
+
+let gen_partsupp ~nparts ~nsuppliers ~per_part =
+  List.concat
+    (List.init nparts (fun i ->
+         let pk = i + 1 in
+         List.init per_part (fun j ->
+             let r = rng_of ~table:"partsupp" ~row:((pk * 7) + j) in
+             let sk = ((pk + (j * (nsuppliers / per_part + 1))) mod nsuppliers) + 1 in
+             [| Value.Int pk;
+                Value.Int sk;
+                Value.Int (rand_int r 1 9999);
+                Value.Float (rand_float r 1. 1000.);
+                Value.String (comment r 8) |])))
+
+let gen_orders ~norders ~ncustomers =
+  List.init norders (fun i ->
+      let k = i + 1 in
+      let r = rng_of ~table:"orders" ~row:k in
+      (* dbgen: only 2/3 of customers have orders *)
+      let ck =
+        let c = rand_int r 1 ncustomers in
+        max 1 (c - (c mod 3))
+      in
+      let odate = rand_date r ~ylo:1992 ~yhi:1998 in
+      [| Value.Int k;
+         Value.Int ck;
+         Value.String (pick r [| "O"; "F"; "P" |]);
+         Value.Float (rand_float r 900. 450_000.);
+         odate;
+         Value.String (pick r priorities);
+         Value.String (Printf.sprintf "Clerk#%09d" (rand_int r 1 1000));
+         Value.Int 0;
+         Value.String (comment r 5) |])
+
+let gen_lineitem ~norders ~nparts ~nsuppliers (orders : row list) =
+  List.concat
+    (List.map
+       (fun (o : row) ->
+          let ok = match o.(0) with Value.Int k -> k | _ -> assert false in
+          let odate = match o.(4) with Value.Date d -> d | _ -> assert false in
+          let r = rng_of ~table:"lineitem" ~row:ok in
+          let nlines = rand_int r 1 7 in
+          ignore norders;
+          List.init nlines (fun ln ->
+              let pk = rand_int r 1 nparts in
+              let sk = ((pk + (rand_int r 0 3 * (nsuppliers / 4 + 1))) mod nsuppliers) + 1 in
+              let qty = float_of_int (rand_int r 1 50) in
+              let price = qty *. rand_float r 90. 2000. in
+              let ship = odate + rand_int r 1 121 in
+              let commit = odate + rand_int r 30 90 in
+              let receipt = ship + rand_int r 1 30 in
+              [| Value.Int ok;
+                 Value.Int pk;
+                 Value.Int sk;
+                 Value.Int (ln + 1);
+                 Value.Float qty;
+                 Value.Float price;
+                 Value.Float (float_of_int (rand_int r 0 10) /. 100.);
+                 Value.Float (float_of_int (rand_int r 0 8) /. 100.);
+                 Value.String (pick r [| "R"; "A"; "N" |]);
+                 Value.String (pick r [| "O"; "F" |]);
+                 Value.Date ship;
+                 Value.Date commit;
+                 Value.Date receipt;
+                 Value.String (pick r instructs);
+                 Value.String (pick r modes);
+                 Value.String (comment r 3) |]))
+       orders)
+
+(** Generate the whole database at scale factor [sf]. *)
+let generate sf : db =
+  let c = counts sf in
+  let nsup = c#supplier and ncust = c#customer and npart = c#part in
+  let norders = c#orders in
+  let orders = gen_orders ~norders ~ncustomers:ncust in
+  let tables =
+    [ ("region", gen_region ());
+      ("nation", gen_nation ());
+      ("supplier", gen_supplier nsup);
+      ("customer", gen_customer ncust);
+      ("part", gen_part npart);
+      ("partsupp", gen_partsupp ~nparts:npart ~nsuppliers:nsup ~per_part:c#partsupp_per_part);
+      ("orders", orders);
+      ("lineitem", gen_lineitem ~norders ~nparts:npart ~nsuppliers:nsup orders) ]
+  in
+  { sf; tables }
+
+let rows db name =
+  match List.assoc_opt (String.lowercase_ascii name) db.tables with
+  | Some r -> r
+  | None -> invalid_arg ("Datagen.rows: unknown table " ^ name)
+
+let _ = date_of (* exported convenience *)

@@ -1,0 +1,302 @@
+(** TPC-H query texts expressible in the opdw SQL subset, plus the worked
+    examples from the paper. Parameter values follow the TPC-H defaults. *)
+
+type t = {
+  id : string;
+  description : string;
+  sql : string;
+}
+
+let q id description sql = { id; description; sql }
+
+(** §2.4 running example: distribution-incompatible join needing a shuffle. *)
+let paper_join =
+  q "P1" "paper §2.4: Customer x Orders, partition-incompatible join"
+    "SELECT c_custkey, o_orderdate FROM Orders, Customer \
+     WHERE o_custkey = c_custkey AND o_totalprice > 100"
+
+(** Fig. 3 example (same join, select-star). *)
+let fig3 =
+  q "F3" "paper Fig. 3: Customer join Orders with price filter"
+    "SELECT * FROM CUSTOMER C, ORDERS O \
+     WHERE C.C_CUSTKEY = O.O_CUSTKEY AND O.O_TOTALPRICE > 1000"
+
+(** §3.2 example: 3-way join where the serial-best order is not parallel-best.
+    The serial optimizer joins Customer first (smallest intermediate); the
+    parallel optimizer prefers the collocated Orders-Lineitem join followed
+    by a shuffle of its narrow result on custkey. *)
+let three_way =
+  q "P2" "paper §3.2: Customer x Orders x Lineitem on custkey/orderkey"
+    "SELECT c_name, c_address, o_orderkey, l_quantity \
+     FROM customer, orders, lineitem \
+     WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+
+let q1 =
+  q "Q1" "pricing summary report"
+    "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+     SUM(l_extendedprice) AS sum_base_price, \
+     SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+     SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+     AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+     AVG(l_discount) AS avg_disc, COUNT(*) AS count_order \
+     FROM lineitem \
+     WHERE l_shipdate <= DATEADD(day, -90, '1998-12-01') \
+     GROUP BY l_returnflag, l_linestatus \
+     ORDER BY l_returnflag, l_linestatus"
+
+let q2 =
+  q "Q2" "minimum cost supplier"
+    "SELECT TOP 100 s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone \
+     FROM part, supplier, partsupp, nation, region \
+     WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 \
+     AND p_type LIKE '%BRASS' AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+     AND r_name = 'EUROPE' \
+     AND ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, supplier, nation, region \
+        WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey \
+        AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'EUROPE') \
+     ORDER BY s_acctbal DESC, n_name, s_name, p_partkey"
+
+let q3 =
+  q "Q3" "shipping priority"
+    "SELECT TOP 10 l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+     o_orderdate, o_shippriority \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+     AND o_orderdate < '1995-03-15' AND l_shipdate > '1995-03-15' \
+     GROUP BY l_orderkey, o_orderdate, o_shippriority \
+     ORDER BY revenue DESC, o_orderdate"
+
+let q4 =
+  q "Q4" "order priority checking (correlated EXISTS)"
+    "SELECT o_orderpriority, COUNT(*) AS order_count \
+     FROM orders \
+     WHERE o_orderdate >= '1993-07-01' AND o_orderdate < DATEADD(month, 3, '1993-07-01') \
+     AND EXISTS (SELECT l_orderkey FROM lineitem \
+        WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) \
+     GROUP BY o_orderpriority \
+     ORDER BY o_orderpriority"
+
+let q5 =
+  q "Q5" "local supplier volume (6-way join)"
+    "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM customer, orders, lineitem, supplier, nation, region \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+     AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey \
+     AND n_regionkey = r_regionkey AND r_name = 'ASIA' \
+     AND o_orderdate >= '1994-01-01' AND o_orderdate < DATEADD(year, 1, '1994-01-01') \
+     GROUP BY n_name \
+     ORDER BY revenue DESC"
+
+let q6 =
+  q "Q6" "forecasting revenue change (scalar aggregate)"
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+     FROM lineitem \
+     WHERE l_shipdate >= '1994-01-01' AND l_shipdate < DATEADD(year, 1, '1994-01-01') \
+     AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+
+let q7 =
+  q "Q7" "volume shipping (self-joined nation pair)"
+    "SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue \
+     FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, \
+        YEAR(l_shipdate) AS l_year, l_extendedprice * (1 - l_discount) AS volume \
+        FROM supplier, lineitem, orders, customer, nation n1, nation n2 \
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey \
+        AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey \
+        AND c_nationkey = n2.n_nationkey \
+        AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') \
+          OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) \
+        AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31') AS shipping \
+     GROUP BY supp_nation, cust_nation, l_year \
+     ORDER BY supp_nation, cust_nation, l_year"
+
+let q8 =
+  q "Q8" "national market share (CASE ratio over 8-way join)"
+    "SELECT o_year, SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / SUM(volume) \
+        AS mkt_share \
+     FROM (SELECT YEAR(o_orderdate) AS o_year, \
+        l_extendedprice * (1 - l_discount) AS volume, n2.n_name AS nation \
+        FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
+        WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey \
+        AND l_orderkey = o_orderkey AND o_custkey = c_custkey \
+        AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey \
+        AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey \
+        AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' \
+        AND p_type = 'ECONOMY ANODIZED STEEL') AS all_nations \
+     GROUP BY o_year \
+     ORDER BY o_year"
+
+let q9 =
+  q "Q9" "product type profit measure"
+    "SELECT nation, o_year, SUM(amount) AS sum_profit \
+     FROM (SELECT n_name AS nation, YEAR(o_orderdate) AS o_year, \
+        l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount \
+        FROM part, supplier, lineitem, partsupp, orders, nation \
+        WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey \
+        AND ps_partkey = l_partkey AND p_partkey = l_partkey \
+        AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey \
+        AND p_name LIKE '%green%') AS profit \
+     GROUP BY nation, o_year \
+     ORDER BY nation, o_year DESC"
+
+let q10 =
+  q "Q10" "returned item reporting"
+    "SELECT TOP 20 c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+     c_acctbal, n_name, c_address, c_phone \
+     FROM customer, orders, lineitem, nation \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+     AND o_orderdate >= '1993-10-01' AND o_orderdate < DATEADD(month, 3, '1993-10-01') \
+     AND l_returnflag = 'R' AND c_nationkey = n_nationkey \
+     GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address \
+     ORDER BY revenue DESC"
+
+let q11 =
+  q "Q11" "important stock identification (HAVING with scalar subquery)"
+    "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS v \
+     FROM partsupp, supplier, nation \
+     WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY' \
+     GROUP BY ps_partkey \
+     HAVING SUM(ps_supplycost * ps_availqty) > \
+        (SELECT SUM(ps_supplycost * ps_availqty) * 0.0001 \
+         FROM partsupp, supplier, nation \
+         WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+         AND n_name = 'GERMANY') \
+     ORDER BY v DESC"
+
+let q12 =
+  q "Q12" "shipping modes and order priority (IN list + CASE aggregates)"
+    "SELECT l_shipmode, \
+     SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' \
+         THEN 1 ELSE 0 END) AS high_line_count, \
+     SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' \
+         THEN 1 ELSE 0 END) AS low_line_count \
+     FROM orders, lineitem \
+     WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') \
+     AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate \
+     AND l_receiptdate >= '1994-01-01' AND l_receiptdate < DATEADD(year, 1, '1994-01-01') \
+     GROUP BY l_shipmode \
+     ORDER BY l_shipmode"
+
+let q13 =
+  q "Q13" "customer distribution (LEFT OUTER JOIN + double aggregation)"
+    "SELECT c_count, COUNT(*) AS custdist \
+     FROM (SELECT c_custkey AS ck, COUNT(o_orderkey) AS c_count \
+        FROM customer LEFT OUTER JOIN orders \
+        ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%' \
+        GROUP BY c_custkey) AS c_orders \
+     GROUP BY c_count \
+     ORDER BY custdist DESC, c_count DESC"
+
+let q14 =
+  q "Q14" "promotion effect (expression over two aggregates)"
+    "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' \
+         THEN l_extendedprice * (1 - l_discount) ELSE 0 END) \
+       / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+     FROM lineitem, part \
+     WHERE l_partkey = p_partkey \
+     AND l_shipdate >= '1995-09-01' AND l_shipdate < DATEADD(month, 1, '1995-09-01')"
+
+let q15 =
+  q "Q15" "top supplier (derived-table view + scalar MAX subquery)"
+    "SELECT s_suppkey, s_name, s_address, s_phone, total_revenue \
+     FROM supplier, (SELECT l_suppkey AS supplier_no, \
+        SUM(l_extendedprice * (1 - l_discount)) AS total_revenue FROM lineitem \
+        WHERE l_shipdate >= '1996-01-01' AND l_shipdate < DATEADD(month, 3, '1996-01-01') \
+        GROUP BY l_suppkey) AS revenue \
+     WHERE s_suppkey = supplier_no AND total_revenue = \
+        (SELECT MAX(total_revenue) FROM (SELECT l_suppkey AS supplier_no, \
+           SUM(l_extendedprice * (1 - l_discount)) AS total_revenue FROM lineitem \
+           WHERE l_shipdate >= '1996-01-01' AND l_shipdate < DATEADD(month, 3, '1996-01-01') \
+           GROUP BY l_suppkey) AS r2) \
+     ORDER BY s_suppkey"
+
+let q16 =
+  q "Q16" "parts/supplier relationship (NOT IN + COUNT DISTINCT)"
+    "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+     FROM partsupp, part \
+     WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45' \
+     AND p_type NOT LIKE 'MEDIUM POLISHED%' AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) \
+     AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier \
+        WHERE s_comment LIKE '%Customer%Complaints%') \
+     GROUP BY p_brand, p_type, p_size \
+     ORDER BY supplier_cnt DESC, p_brand, p_type, p_size"
+
+let q17 =
+  q "Q17" "small-quantity-order revenue (correlated scalar AVG)"
+    "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly \
+     FROM lineitem, part \
+     WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' AND p_container = 'MED BOX' \
+     AND l_quantity < (SELECT 0.2 * AVG(l_quantity) FROM lineitem \
+        WHERE l_partkey = p_partkey)"
+
+let q18 =
+  q "Q18" "large volume customer (IN over grouped subquery)"
+    "SELECT TOP 100 c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+     SUM(l_quantity) AS total_qty \
+     FROM customer, orders, lineitem \
+     WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem \
+        GROUP BY l_orderkey HAVING SUM(l_quantity) > 300) \
+     AND c_custkey = o_custkey AND o_orderkey = l_orderkey \
+     GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+     ORDER BY o_totalprice DESC, o_orderdate"
+
+let q19 =
+  q "Q19" "discounted revenue (disjunction of conjunctions)"
+    "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM lineitem, part \
+     WHERE (p_partkey = l_partkey AND p_brand = 'Brand#12' \
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+        AND l_quantity >= 1 AND l_quantity <= 11 AND p_size BETWEEN 1 AND 5 \
+        AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON') \
+     OR (p_partkey = l_partkey AND p_brand = 'Brand#23' \
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+        AND l_quantity >= 10 AND l_quantity <= 20 AND p_size BETWEEN 1 AND 10 \
+        AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON')"
+
+let q21 =
+  q "Q21" "suppliers who kept orders waiting (EXISTS + NOT EXISTS)"
+    "SELECT TOP 100 s_name, COUNT(*) AS numwait \
+     FROM supplier, lineitem l1, orders, nation \
+     WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey \
+     AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate \
+     AND EXISTS (SELECT l2.l_orderkey FROM lineitem l2 \
+        WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey) \
+     AND NOT EXISTS (SELECT l3.l_orderkey FROM lineitem l3 \
+        WHERE l3.l_orderkey = l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey \
+        AND l3.l_receiptdate > l3.l_commitdate) \
+     AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA' \
+     GROUP BY s_name \
+     ORDER BY numwait DESC, s_name"
+
+let q20 =
+  q "Q20" "potential part promotion (paper Fig. 7)"
+    "SELECT s_name, s_address FROM supplier, nation \
+     WHERE s_suppkey IN (SELECT ps_suppkey FROM partsupp \
+        WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE 'forest%') \
+        AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) FROM lineitem \
+           WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey \
+           AND l_shipdate >= '1994-01-01' \
+           AND l_shipdate < DATEADD(year, 1, '1994-01-01'))) \
+     AND s_nationkey = n_nationkey AND n_name = 'CANADA' \
+     ORDER BY s_name"
+
+let q22 =
+  q "Q22" "global sales opportunity (NOT EXISTS + uncorrelated scalar AVG)"
+    "SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal \
+     FROM (SELECT SUBSTRING(c_phone, 1, 2) AS cntrycode, c_acctbal, c_custkey \
+        FROM customer \
+        WHERE SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17') \
+        AND c_acctbal > 0.00) AS custsale \
+     WHERE c_acctbal > (SELECT AVG(c_acctbal) FROM customer \
+        WHERE c_acctbal > 0.00 \
+        AND SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')) \
+     AND NOT EXISTS (SELECT o_orderkey FROM orders WHERE o_custkey = c_custkey) \
+     GROUP BY cntrycode \
+     ORDER BY cntrycode"
+
+(** The full workload: paper examples + the TPC-H subset. *)
+let all =
+  [ paper_join; fig3; three_way; q1; q2; q3; q4; q5; q6; q7; q8; q9; q10; q11;
+    q12; q13; q14; q15; q16; q17; q18; q19; q20; q21; q22 ]
+
+let find id =
+  List.find_opt (fun t -> String.lowercase_ascii t.id = String.lowercase_ascii id) all

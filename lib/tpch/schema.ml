@@ -1,0 +1,112 @@
+(** The TPC-H schema with the PDW distribution layout used throughout the
+    paper's examples: Customer hash-partitioned on c_custkey, Orders and
+    Lineitem co-located on orderkey (§3.2), Part/Partsupp on partkey, and
+    the small dimensions (Supplier, Nation, Region) replicated — Fig. 7
+    references [supplier_repl]. *)
+
+open Catalog
+
+let c ?nullable ?width ?is_pk ?references name ty =
+  Schema.column ?nullable ?width ?is_pk ?references name ty
+
+let region =
+  Schema.make "region"
+    [ c ~is_pk:true "r_regionkey" Types.Tint;
+      c ~width:12 "r_name" Types.Tstring;
+      c ~width:60 "r_comment" Types.Tstring ]
+
+let nation =
+  Schema.make "nation"
+    [ c ~is_pk:true "n_nationkey" Types.Tint;
+      c ~width:16 "n_name" Types.Tstring;
+      c ~references:("region", "r_regionkey") "n_regionkey" Types.Tint;
+      c ~width:60 "n_comment" Types.Tstring ]
+
+let supplier =
+  Schema.make "supplier"
+    [ c ~is_pk:true "s_suppkey" Types.Tint;
+      c ~width:18 "s_name" Types.Tstring;
+      c ~width:24 "s_address" Types.Tstring;
+      c ~references:("nation", "n_nationkey") "s_nationkey" Types.Tint;
+      c ~width:15 "s_phone" Types.Tstring;
+      c "s_acctbal" Types.Tfloat;
+      c ~width:60 "s_comment" Types.Tstring ]
+
+let customer =
+  Schema.make "customer"
+    [ c ~is_pk:true "c_custkey" Types.Tint;
+      c ~width:18 "c_name" Types.Tstring;
+      c ~width:24 "c_address" Types.Tstring;
+      c ~references:("nation", "n_nationkey") "c_nationkey" Types.Tint;
+      c ~width:15 "c_phone" Types.Tstring;
+      c "c_acctbal" Types.Tfloat;
+      c ~width:10 "c_mktsegment" Types.Tstring;
+      c ~width:60 "c_comment" Types.Tstring ]
+
+let part =
+  Schema.make "part"
+    [ c ~is_pk:true "p_partkey" Types.Tint;
+      c ~width:34 "p_name" Types.Tstring;
+      c ~width:14 "p_mfgr" Types.Tstring;
+      c ~width:10 "p_brand" Types.Tstring;
+      c ~width:20 "p_type" Types.Tstring;
+      c "p_size" Types.Tint;
+      c ~width:10 "p_container" Types.Tstring;
+      c "p_retailprice" Types.Tfloat;
+      c ~width:40 "p_comment" Types.Tstring ]
+
+let partsupp =
+  Schema.make "partsupp"
+    [ c ~is_pk:true ~references:("part", "p_partkey") "ps_partkey" Types.Tint;
+      c ~is_pk:true ~references:("supplier", "s_suppkey") "ps_suppkey" Types.Tint;
+      c "ps_availqty" Types.Tint;
+      c "ps_supplycost" Types.Tfloat;
+      c ~width:80 "ps_comment" Types.Tstring ]
+
+let orders =
+  Schema.make "orders"
+    [ c ~is_pk:true "o_orderkey" Types.Tint;
+      c ~references:("customer", "c_custkey") "o_custkey" Types.Tint;
+      c ~width:1 "o_orderstatus" Types.Tstring;
+      c "o_totalprice" Types.Tfloat;
+      c "o_orderdate" Types.Tdate;
+      c ~width:15 "o_orderpriority" Types.Tstring;
+      c ~width:15 "o_clerk" Types.Tstring;
+      c "o_shippriority" Types.Tint;
+      c ~width:40 "o_comment" Types.Tstring ]
+
+let lineitem =
+  Schema.make "lineitem"
+    [ c ~is_pk:true ~references:("orders", "o_orderkey") "l_orderkey" Types.Tint;
+      c ~references:("part", "p_partkey") "l_partkey" Types.Tint;
+      c ~references:("supplier", "s_suppkey") "l_suppkey" Types.Tint;
+      c ~is_pk:true "l_linenumber" Types.Tint;
+      c "l_quantity" Types.Tfloat;
+      c "l_extendedprice" Types.Tfloat;
+      c "l_discount" Types.Tfloat;
+      c "l_tax" Types.Tfloat;
+      c ~width:1 "l_returnflag" Types.Tstring;
+      c ~width:1 "l_linestatus" Types.Tstring;
+      c "l_shipdate" Types.Tdate;
+      c "l_commitdate" Types.Tdate;
+      c "l_receiptdate" Types.Tdate;
+      c ~width:12 "l_shipinstruct" Types.Tstring;
+      c ~width:10 "l_shipmode" Types.Tstring;
+      c ~width:30 "l_comment" Types.Tstring ]
+
+(** (schema, distribution) for every table, in FK dependency order. *)
+let layout =
+  [ (region, Distribution.Replicated);
+    (nation, Distribution.Replicated);
+    (supplier, Distribution.Replicated);
+    (customer, Distribution.Hash_partitioned [ "c_custkey" ]);
+    (part, Distribution.Hash_partitioned [ "p_partkey" ]);
+    (partsupp, Distribution.Hash_partitioned [ "ps_partkey" ]);
+    (orders, Distribution.Hash_partitioned [ "o_orderkey" ]);
+    (lineitem, Distribution.Hash_partitioned [ "l_orderkey" ]) ]
+
+(** Register all TPC-H tables (without stats) in a shell database. *)
+let install shell =
+  List.iter
+    (fun (schema, dist) -> ignore (Shell_db.add_table shell schema dist))
+    layout

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "opdw"
+    [ ("value", Test_value.suite);
+      ("histogram", Test_histogram.suite);
+      ("parser", Test_parser.suite);
+      ("expr", Test_expr.suite);
+      ("algebrizer", Test_algebrizer.suite);
+      ("normalize", Test_normalize.suite);
+      ("cardinality", Test_cardinality.suite);
+      ("memo", Test_memo.suite);
+      ("serialopt", Test_serialopt.suite);
+      ("dms", Test_dms.suite);
+      ("pdwopt", Test_pdwopt.suite);
+      ("dsql", Test_dsql.suite);
+      ("dsql_exec", Test_dsql_exec.suite);
+      ("engine", Test_engine.suite);
+      ("baseline", Test_baseline.suite);
+      ("tpch", Test_tpch.suite);
+      ("union", Test_union.suite);
+      ("hints", Test_hints.suite);
+      ("e2e", Test_e2e.suite);
+      ("fuzz", Test_fuzz.suite) ]

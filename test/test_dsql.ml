@@ -1,0 +1,120 @@
+(* DSQL generation (paper §2.4, §3.4, Fig. 6/7): step structure, temp table
+   wiring, SQL text shape. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let dsql sql =
+  let r = Fixtures.optimize sql in
+  (r, r.Opdw.dsql)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let steps_sql (p : Dsql.Generate.plan) =
+  List.map
+    (function
+      | Dsql.Generate.Dms_step { source_sql; _ } -> source_sql
+      | Dsql.Generate.Return_step { sql; _ } -> sql)
+    p.Dsql.Generate.steps
+
+let test_no_move_single_return () =
+  let _, p = dsql "SELECT o_orderkey FROM orders WHERE o_totalprice > 100" in
+  match p.Dsql.Generate.steps with
+  | [ Dsql.Generate.Return_step { sql; _ } ] ->
+    Alcotest.(check bool) "reads base table" true (contains sql "[tpch].[dbo].[orders]");
+    Alcotest.(check bool) "carries the filter" true (contains sql "o_totalprice")
+  | _ -> Alcotest.fail "expected exactly one Return step"
+
+let test_shuffle_step_wiring () =
+  let _, p = dsql (Option.get (Tpch.Queries.find "P1")).Tpch.Queries.sql in
+  (* at least one DMS step followed by a Return step that reads the temp *)
+  (match p.Dsql.Generate.steps with
+   | [ Dsql.Generate.Dms_step { temp_table; _ }; Dsql.Generate.Return_step { sql; _ } ] ->
+     Alcotest.(check bool) "return reads temp" true (contains sql temp_table)
+   | _ -> Alcotest.fail "expected DMS + Return");
+  ()
+
+let test_temp_ids_unique () =
+  let _, p = dsql (Option.get (Tpch.Queries.find "Q20")).Tpch.Queries.sql in
+  let names =
+    List.filter_map
+      (function Dsql.Generate.Dms_step { temp_table; _ } -> Some temp_table | _ -> None)
+      p.Dsql.Generate.steps
+  in
+  Alcotest.(check int) "unique temp names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_moved_columns_projected () =
+  (* only the required columns appear in a DMS step's source SELECT *)
+  let _, p = dsql (Option.get (Tpch.Queries.find "P1")).Tpch.Queries.sql in
+  match p.Dsql.Generate.steps with
+  | Dsql.Generate.Dms_step { cols; _ } :: _ ->
+    Alcotest.(check bool) "narrow projection" true (List.length cols <= 3)
+  | _ -> Alcotest.fail "expected a DMS step first"
+
+let test_group_by_rendered () =
+  let _, p = dsql "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey" in
+  let all = String.concat "\n" (steps_sql p) in
+  Alcotest.(check bool) "GROUP BY present" true (contains all "GROUP BY")
+
+let test_order_by_rendered () =
+  let _, p = dsql "SELECT c_name FROM customer ORDER BY c_name DESC" in
+  match List.rev p.Dsql.Generate.steps with
+  | Dsql.Generate.Return_step { sql; _ } :: _ ->
+    Alcotest.(check bool) "ORDER BY ... DESC" true (contains sql "DESC")
+  | _ -> Alcotest.fail "no return step"
+
+let test_top_rendered () =
+  let _, p = dsql "SELECT TOP 7 c_name FROM customer ORDER BY c_name" in
+  match List.rev p.Dsql.Generate.steps with
+  | Dsql.Generate.Return_step { sql; _ } :: _ ->
+    Alcotest.(check bool) "TOP 7" true (contains sql "TOP 7")
+  | _ -> Alcotest.fail "no return step"
+
+let test_semi_join_rendered_as_exists () =
+  let _, p =
+    dsql "SELECT c_name FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders)"
+  in
+  let all = String.concat "\n" (steps_sql p) in
+  Alcotest.(check bool) "EXISTS rendering" true (contains all "EXISTS")
+
+let test_date_literals_rendered () =
+  let _, p = dsql "SELECT o_orderkey FROM orders WHERE o_orderdate >= '1994-01-01'" in
+  let all = String.concat "\n" (steps_sql p) in
+  Alcotest.(check bool) "CAST (... AS DATE)" true
+    (contains all "CAST ('1994-01-01' AS DATE)")
+
+let test_step_formatting () =
+  let _, p = dsql (Option.get (Tpch.Queries.find "P1")).Tpch.Queries.sql in
+  let s = Dsql.Generate.to_string p in
+  Alcotest.(check bool) "step headers" true (contains s "DSQL step 0");
+  Alcotest.(check bool) "routing line" true (contains s "routing:");
+  Alcotest.(check bool) "return step" true (contains s "Return")
+
+let test_workload_steps_bounded () =
+  (* every workload query has between 1 and 8 steps; step ids are dense *)
+  List.iter
+    (fun q ->
+       let r = Fixtures.optimize q.Tpch.Queries.sql in
+       let steps = r.Opdw.dsql.Dsql.Generate.steps in
+       let n = List.length steps in
+       Alcotest.(check bool) (q.Tpch.Queries.id ^ " step count sane") true (n >= 1 && n <= 8);
+       List.iteri
+         (fun i s -> Alcotest.(check int) "dense ids" i (Dsql.Generate.step_id s))
+         steps)
+    Tpch.Queries.all
+
+let suite =
+  [ t "pure-local query: single Return step" test_no_move_single_return;
+    t "shuffle step wires temp into Return" test_shuffle_step_wiring;
+    t "temp table names unique" test_temp_ids_unique;
+    t "moved columns projected" test_moved_columns_projected;
+    t "GROUP BY rendered" test_group_by_rendered;
+    t "ORDER BY rendered" test_order_by_rendered;
+    t "TOP rendered" test_top_rendered;
+    t "semi join rendered as EXISTS" test_semi_join_rendered_as_exists;
+    t "date literals rendered as CAST" test_date_literals_rendered;
+    t "step formatting (Fig. 7 style)" test_step_formatting;
+    t "workload step counts and ids" test_workload_steps_bounded ]

@@ -1,0 +1,125 @@
+(* End-to-end integration (experiment E11): every workload query is parsed,
+   optimized through the full pipeline (including the XML MEMO interface),
+   executed distributed on the appliance, and compared against the serial
+   single-node reference execution. The baseline plan must also execute to
+   the same result. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let canonical cols result = Engine.Local.canonical ~cols:(List.map snd cols) result
+let _ = canonical
+
+let check_query (w : Opdw.Workload.t) qid =
+  let q = Option.get (Tpch.Queries.find qid) in
+  let r = Opdw.optimize w.Opdw.Workload.shell q.Tpch.Queries.sql in
+  let app = w.Opdw.Workload.app in
+  Engine.Appliance.reset_account app;
+  let dist = Opdw.run app r in
+  let reference = Option.get (Opdw.run_reference app r) in
+  let cols = List.map snd (Opdw.output_columns r) in
+  Alcotest.(check (list string))
+    (qid ^ ": distributed == reference")
+    (Engine.Local.canonical ~cols reference)
+    (Engine.Local.canonical ~cols dist);
+  (match Opdw.run_baseline app r with
+   | Some b ->
+     Alcotest.(check (list string))
+       (qid ^ ": baseline == reference")
+       (Engine.Local.canonical ~cols reference)
+       (Engine.Local.canonical ~cols b)
+   | None -> Alcotest.fail (qid ^ ": baseline did not parallelize"));
+  r
+
+let test_query w qid () = ignore (check_query w qid)
+
+let test_top_n_order (w : Opdw.Workload.t) () =
+  (* ORDER BY ... TOP results come back in order, not only as multisets *)
+  let r =
+    Opdw.optimize w.Opdw.Workload.shell
+      "SELECT TOP 5 o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC"
+  in
+  let res = Opdw.run w.Opdw.Workload.app r in
+  Alcotest.(check int) "five rows" 5 (List.length res.Engine.Local.rows);
+  let prices =
+    List.map
+      (fun row -> Catalog.Value.to_float row.(1))
+      res.Engine.Local.rows
+  in
+  let sorted = List.sort (fun a b -> compare b a) prices in
+  Alcotest.(check (list (float 1e-9))) "descending" sorted prices
+
+let test_via_xml_equals_direct (w : Opdw.Workload.t) () =
+  (* the XML interface must not change the chosen plan's cost *)
+  let sql = (Option.get (Tpch.Queries.find "Q3")).Tpch.Queries.sql in
+  let node_count = Catalog.Shell_db.node_count w.Opdw.Workload.shell in
+  let with_xml via_xml =
+    let options = { (Opdw.default_options ~node_count) with Opdw.via_xml } in
+    let r = Opdw.optimize ~options w.Opdw.Workload.shell sql in
+    (Opdw.plan r).Pdwopt.Pplan.dms_cost
+  in
+  Alcotest.(check (float 1e-12)) "same cost either way" (with_xml false) (with_xml true)
+
+let test_empty_result (w : Opdw.Workload.t) () =
+  let r =
+    Opdw.optimize w.Opdw.Workload.shell
+      "SELECT c_name FROM customer WHERE c_acctbal > 100 AND c_acctbal < 50"
+  in
+  let res = Opdw.run w.Opdw.Workload.app r in
+  Alcotest.(check int) "contradiction yields empty" 0 (List.length res.Engine.Local.rows)
+
+let test_single_node_appliance () =
+  (* the degenerate 1-node appliance must also work *)
+  let w = Opdw.Workload.tpch ~node_count:1 ~sf:0.001 () in
+  let r =
+    Opdw.optimize w.Opdw.Workload.shell
+      "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey"
+  in
+  let dist = Opdw.run w.Opdw.Workload.app r in
+  let reference = Option.get (Opdw.run_reference w.Opdw.Workload.app r) in
+  let cols = List.map snd (Opdw.output_columns r) in
+  Alcotest.(check (list string)) "1-node correctness"
+    (Engine.Local.canonical ~cols reference)
+    (Engine.Local.canonical ~cols dist)
+
+let test_many_nodes () =
+  let w = Opdw.Workload.tpch ~node_count:16 ~sf:0.001 () in
+  let q = Option.get (Tpch.Queries.find "Q3") in
+  let r = Opdw.optimize w.Opdw.Workload.shell q.Tpch.Queries.sql in
+  let dist = Opdw.run w.Opdw.Workload.app r in
+  let reference = Option.get (Opdw.run_reference w.Opdw.Workload.app r) in
+  let cols = List.map snd (Opdw.output_columns r) in
+  Alcotest.(check (list string)) "16-node correctness"
+    (Engine.Local.canonical ~cols reference)
+    (Engine.Local.canonical ~cols dist)
+
+let test_dsql_steps_executable (w : Opdw.Workload.t) () =
+  (* a DSQL plan exists for every query, its last step is Return, and it has
+     one DMS step per movement *)
+  List.iter
+    (fun q ->
+       let r = Opdw.optimize w.Opdw.Workload.shell q.Tpch.Queries.sql in
+       let steps = r.Opdw.dsql.Dsql.Generate.steps in
+       Alcotest.(check bool) (q.Tpch.Queries.id ^ ": has steps") true (steps <> []);
+       (match List.rev steps with
+        | Dsql.Generate.Return_step _ :: _ -> ()
+        | _ -> Alcotest.fail "last step must be Return");
+       let dms_steps =
+         List.length
+           (List.filter (function Dsql.Generate.Dms_step _ -> true | _ -> false) steps)
+       in
+       Alcotest.(check bool)
+         (q.Tpch.Queries.id ^ ": step count vs moves")
+         true
+         (dms_steps <= Pdwopt.Pplan.move_count (Opdw.plan r)))
+    Tpch.Queries.all
+
+let suite =
+  let w = Lazy.force Fixtures.tpch_workload in
+  List.map (fun q -> t ("query " ^ q.Tpch.Queries.id) (test_query w q.Tpch.Queries.id))
+    Tpch.Queries.all
+  @ [ t "TOP-N ordering preserved" (test_top_n_order w);
+      t "XML interface neutral" (test_via_xml_equals_direct w);
+      t "contradictory query returns empty" (test_empty_result w);
+      t "single-node appliance" test_single_node_appliance;
+      t "sixteen-node appliance" test_many_nodes;
+      t "DSQL plans well-formed" (test_dsql_steps_executable w) ]

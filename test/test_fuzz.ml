@@ -1,0 +1,153 @@
+(* Property-based end-to-end testing: a generator of random (but valid) SQL
+   over the TPC-H schema; every generated query must optimize, execute
+   distributed, and match the single-node reference (and the baseline). *)
+
+
+(* FK join edges of the TPC-H schema: (left table, left col, right table,
+   right col). Joining along these always produces valid equi joins. *)
+let fk_edges =
+  [ ("orders", "o_custkey", "customer", "c_custkey");
+    ("lineitem", "l_orderkey", "orders", "o_orderkey");
+    ("lineitem", "l_partkey", "part", "p_partkey");
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey");
+    ("customer", "c_nationkey", "nation", "n_nationkey");
+    ("supplier", "s_nationkey", "nation", "n_nationkey");
+    ("nation", "n_regionkey", "region", "r_regionkey");
+    ("partsupp", "ps_partkey", "part", "p_partkey");
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey") ]
+
+(* candidate filters per table: (sql fragment, key column of the table) *)
+let filters =
+  [ ("orders", [ "o_totalprice > 200000"; "o_orderdate >= '1995-06-01'";
+                 "o_orderstatus = 'F'"; "o_shippriority = 0" ]);
+    ("customer", [ "c_acctbal > 1000"; "c_mktsegment = 'BUILDING'";
+                   "c_nationkey < 12" ]);
+    ("lineitem", [ "l_quantity > 25"; "l_discount BETWEEN 0.02 AND 0.08";
+                   "l_shipmode IN ('AIR', 'RAIL')";
+                   "l_shipdate < '1995-01-01'" ]);
+    ("part", [ "p_size > 25"; "p_name LIKE 'f%'"; "p_retailprice < 1200" ]);
+    ("supplier", [ "s_acctbal > 0" ]);
+    ("partsupp", [ "ps_availqty > 5000"; "ps_supplycost < 500" ]);
+    ("nation", [ "n_regionkey = 2"; "n_name <> 'CANADA'" ]);
+    ("region", [ "r_regionkey < 3" ]) ]
+
+(* numeric/groupable columns per table for aggregates and group keys *)
+let group_cols =
+  [ ("orders", [ "o_orderstatus"; "o_orderpriority"; "o_custkey" ]);
+    ("customer", [ "c_mktsegment"; "c_nationkey" ]);
+    ("lineitem", [ "l_returnflag"; "l_shipmode"; "l_suppkey" ]);
+    ("part", [ "p_brand"; "p_size" ]);
+    ("supplier", [ "s_nationkey" ]);
+    ("partsupp", [ "ps_suppkey" ]);
+    ("nation", [ "n_regionkey" ]);
+    ("region", [ "r_name" ]) ]
+
+let agg_cols =
+  [ ("orders", "o_totalprice"); ("customer", "c_acctbal");
+    ("lineitem", "l_extendedprice"); ("part", "p_retailprice");
+    ("supplier", "s_acctbal"); ("partsupp", "ps_supplycost");
+    ("nation", "n_nationkey"); ("region", "r_regionkey") ]
+
+type gen_query = { sql : string }
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* grow a connected join set along FK edges *)
+let gen_tables rng n =
+  let start = pick rng [ "orders"; "lineitem"; "customer"; "partsupp" ] in
+  let rec grow tables joins k =
+    if k = 0 then (tables, joins)
+    else begin
+      let candidates =
+        List.filter
+          (fun (lt, _, rt, _) ->
+             (List.mem lt tables && not (List.mem rt tables))
+             || (List.mem rt tables && not (List.mem lt tables)))
+          fk_edges
+      in
+      match candidates with
+      | [] -> (tables, joins)
+      | _ ->
+        let (lt, lc, rt, rc) = pick rng candidates in
+        let newt = if List.mem lt tables then rt else lt in
+        grow (newt :: tables) (Printf.sprintf "%s = %s" lc rc :: joins) (k - 1)
+    end
+  in
+  grow [ start ] [] (n - 1)
+
+let gen_sql rng : gen_query =
+  let ntables = 1 + Random.State.int rng 3 in
+  let tables, joins = gen_tables rng ntables in
+  let conjs =
+    joins
+    @ List.concat_map
+        (fun t ->
+           let cands = List.assoc t filters in
+           if Random.State.int rng 3 = 0 then [ pick rng cands ] else [])
+        tables
+  in
+  let grouped = Random.State.int rng 3 = 0 in
+  let where = if conjs = [] then "" else " WHERE " ^ String.concat " AND " conjs in
+  if grouped then begin
+    let gt = pick rng tables in
+    let key = pick rng (List.assoc gt group_cols) in
+    let at = pick rng tables in
+    let acol = List.assoc at agg_cols in
+    let agg = pick rng [ "SUM"; "AVG"; "MIN"; "MAX"; "COUNT" ] in
+    { sql =
+        Printf.sprintf "SELECT %s, %s(%s) AS a, COUNT(*) AS c FROM %s%s GROUP BY %s" key
+          agg acol (String.concat ", " tables) where key }
+  end
+  else begin
+    let t = pick rng tables in
+    let cols = List.assoc t group_cols in
+    let c1 = pick rng cols in
+    let top = if Random.State.int rng 4 = 0 then "TOP 50 " else "" in
+    let order = if top <> "" then Printf.sprintf " ORDER BY %s" c1 else "" in
+    { sql =
+        Printf.sprintf "SELECT %s%s FROM %s%s%s" top c1 (String.concat ", " tables)
+          where order }
+  end
+
+let arb_query =
+  QCheck.make
+    ~print:(fun q -> q.sql)
+    (fun rng -> gen_sql rng)
+
+let check_one (w : Opdw.Workload.t) (q : gen_query) =
+  let r = Opdw.optimize w.Opdw.Workload.shell q.sql in
+  let app = w.Opdw.Workload.app in
+  let dist = Opdw.run app r in
+  let reference =
+    match Opdw.run_reference app r with
+    | Some x -> x
+    | None -> QCheck.Test.fail_report "no serial plan"
+  in
+  let cols = List.map snd (Opdw.output_columns r) in
+  let ok_dist =
+    Engine.Local.canonical ~cols dist = Engine.Local.canonical ~cols reference
+  in
+  let ok_baseline =
+    match Opdw.run_baseline app r with
+    | Some b ->
+      Engine.Local.canonical ~cols b = Engine.Local.canonical ~cols reference
+    | None -> false
+  in
+  let ok_cost =
+    match r.Opdw.baseline_plan with
+    | Some b ->
+      (Opdw.plan r).Pdwopt.Pplan.dms_cost <= b.Pdwopt.Pplan.dms_cost +. 1e-12
+    | None -> false
+  in
+  if not ok_dist then QCheck.Test.fail_report ("distributed mismatch: " ^ q.sql);
+  if not ok_baseline then QCheck.Test.fail_report ("baseline mismatch: " ^ q.sql);
+  if not ok_cost then QCheck.Test.fail_report ("pdw cost above baseline: " ^ q.sql);
+  true
+
+let prop_random_queries =
+  let w = lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.001 ()) in
+  QCheck.Test.make ~name:"random queries: distributed == reference == baseline"
+    ~count:60 arb_query
+    (fun q -> check_one (Lazy.force w) q)
+
+let suite = [ QCheck_alcotest.to_alcotest prop_random_queries ]

@@ -1,0 +1,83 @@
+(* Query hints (paper §3.1): OPTION (BROADCAST t | SHUFFLE t | FORCE ORDER). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let w () = Lazy.force Fixtures.tpch_workload
+
+let opt sql = Opdw.optimize (w ()).Opdw.Workload.shell sql
+
+let test_parse_hints () =
+  let q =
+    Sqlfront.Parser.parse
+      "SELECT a FROM t OPTION (BROADCAST t, SHUFFLE u, FORCE ORDER)"
+  in
+  Alcotest.(check int) "three hints" 3 (List.length q.Sqlfront.Ast.hints);
+  match q.Sqlfront.Ast.hints with
+  | [ Sqlfront.Ast.Hint_broadcast "t"; Sqlfront.Ast.Hint_shuffle "u";
+      Sqlfront.Ast.Hint_force_order ] -> ()
+  | _ -> Alcotest.fail "hint shapes"
+
+let test_bad_hint_rejected () =
+  match Sqlfront.Parser.parse "SELECT a FROM t OPTION (NONSENSE x)" with
+  | exception Sqlfront.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown hint must be rejected"
+
+let base_sql = "SELECT c_custkey, o_orderdate FROM orders, customer WHERE o_custkey = c_custkey"
+
+let moves sql = Pdwopt.Pplan.moves (Opdw.plan (opt sql))
+
+let test_broadcast_hint_forces_broadcast () =
+  let kinds = moves (base_sql ^ " OPTION (BROADCAST orders)") in
+  Alcotest.(check bool) "orders broadcast" true
+    (List.exists (function Dms.Op.Broadcast -> true | _ -> false) kinds)
+
+let test_shuffle_hint_forbids_broadcast () =
+  (* without hints this query broadcasts small customer; forcing SHUFFLE on
+     customer removes its replicated options *)
+  let unhinted = moves base_sql in
+  let hinted = moves (base_sql ^ " OPTION (SHUFFLE customer)") in
+  Alcotest.(check bool) "unhinted uses broadcast" true
+    (List.exists (function Dms.Op.Broadcast -> true | _ -> false) unhinted);
+  Alcotest.(check bool) "hinted avoids broadcasting customer" true
+    (List.for_all (function Dms.Op.Broadcast -> false | _ -> true) hinted)
+
+let test_hinted_result_still_correct () =
+  List.iter
+    (fun sql ->
+       let r = opt sql in
+       let wl = w () in
+       let dist = Opdw.run wl.Opdw.Workload.app r in
+       let reference = Option.get (Opdw.run_reference wl.Opdw.Workload.app r) in
+       let cols = List.map snd (Opdw.output_columns r) in
+       Alcotest.(check (list string)) ("correct: " ^ sql)
+         (Engine.Local.canonical ~cols reference)
+         (Engine.Local.canonical ~cols dist))
+    [ base_sql ^ " OPTION (BROADCAST orders)";
+      base_sql ^ " OPTION (SHUFFLE customer)";
+      base_sql ^ " OPTION (FORCE ORDER)" ]
+
+let test_force_order_disables_exploration () =
+  let sql =
+    "SELECT c_name FROM customer, orders, lineitem \
+     WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+  in
+  let r = opt (sql ^ " OPTION (FORCE ORDER)") in
+  Alcotest.(check bool) "budget exhausted immediately" true
+    r.Opdw.serial.Serialopt.Optimizer.budget_exhausted;
+  let r' = opt sql in
+  Alcotest.(check bool) "unhinted explores" true
+    (Memo.total_exprs r'.Opdw.memo >= Memo.total_exprs r.Opdw.memo)
+
+let test_unsatisfiable_hint_ignored () =
+  (* a hint on an alias that does not appear is simply ignored *)
+  let r = opt (base_sql ^ " OPTION (BROADCAST nosuchtable)") in
+  Alcotest.(check bool) "plan still produced" true (Pdwopt.Pplan.size (Opdw.plan r) > 0)
+
+let suite =
+  [ t "parse OPTION clause" test_parse_hints;
+    t "bad hint rejected" test_bad_hint_rejected;
+    t "BROADCAST hint honoured" test_broadcast_hint_forces_broadcast;
+    t "SHUFFLE hint honoured" test_shuffle_hint_forbids_broadcast;
+    t "hinted plans remain correct" test_hinted_result_still_correct;
+    t "FORCE ORDER disables exploration" test_force_order_disables_exploration;
+    t "unsatisfiable hint ignored" test_unsatisfiable_hint_ignored ]

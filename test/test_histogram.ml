@@ -1,0 +1,129 @@
+(* Histograms and statistics: build, estimate, merge (shell-db §2.2). *)
+
+open Catalog
+
+let t name f = Alcotest.test_case name `Quick f
+let checkf = Alcotest.(check (float 1e-6))
+let check_in name lo hi x =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g in [%g, %g]" name x lo hi) true
+    (x >= lo && x <= hi)
+
+let ints l = List.map (fun i -> Value.Int i) l
+
+let uniform n = List.init n (fun i -> Value.Int (i mod 100))
+
+let test_build_totals () =
+  let h = Histogram.build (ints [ 1; 2; 3; 4; 5 ] @ [ Value.Null ]) in
+  checkf "total rows" 6. (Histogram.total_rows h);
+  checkf "non-null" 5. (Histogram.non_null_rows h)
+
+let test_eq_estimate () =
+  let h = Histogram.build ~nbuckets:8 (uniform 1000) in
+  (* 10 rows per distinct value *)
+  check_in "rows_eq" 5. 25. (Histogram.rows_eq h (Value.Int 42))
+
+let test_range_estimate () =
+  let h = Histogram.build ~nbuckets:16 (uniform 1000) in
+  check_in "rows_le 49" 400. 600. (Histogram.rows_le h (Value.Int 49));
+  check_in "rows_ge 50" 400. 600. (Histogram.rows_ge h (Value.Int 50));
+  checkf "rows_le max" 1000. (Histogram.rows_le h (Value.Int 99));
+  checkf "rows_ge above max" 0. (Histogram.rows_ge ~strict:true h (Value.Int 99))
+
+let test_min_max () =
+  let h = Histogram.build (ints [ 5; 3; 9; 1 ]) in
+  Alcotest.(check bool) "min" true (Histogram.min_value h = Some (Value.Int 1));
+  Alcotest.(check bool) "max" true (Histogram.max_value h = Some (Value.Int 9))
+
+let test_merge_preserves_mass () =
+  let h1 = Histogram.build (uniform 500) in
+  let h2 = Histogram.build (ints (List.init 300 (fun i -> 200 + i))) in
+  let m = Histogram.merge [ h1; h2 ] in
+  check_in "merged total" 799. 801. (Histogram.total_rows m)
+
+let test_merge_estimates () =
+  (* two disjoint per-node shards of a uniform 0..99 column *)
+  let shard lo = ints (List.init 500 (fun i -> lo + (i mod 50))) in
+  let h1 = Histogram.build (shard 0) and h2 = Histogram.build (shard 50) in
+  let m = Histogram.merge [ h1; h2 ] in
+  check_in "global eq estimate" 3. 30. (Histogram.rows_eq m (Value.Int 75));
+  check_in "global range" 400. 600. (Histogram.rows_le m (Value.Int 49))
+
+let test_empty_merge () =
+  let m = Histogram.merge [] in
+  checkf "empty" 0. (Histogram.total_rows m)
+
+let test_col_stats_of_values () =
+  let s = Col_stats.of_values (ints [ 1; 1; 2; 3 ] @ [ Value.Null ]) in
+  check_in "ndv" 2.5 3.5 s.Col_stats.ndv;
+  check_in "null_frac" 0.19 0.21 s.Col_stats.null_frac
+
+let test_col_stats_merge () =
+  let s1 = Col_stats.of_values (ints [ 1; 2; 3 ]) in
+  let s2 = Col_stats.of_values (ints [ 3; 4; 5 ]) in
+  let m = Col_stats.merge [ s1; s2 ] in
+  Alcotest.(check bool) "min" true (m.Col_stats.min_v = Some (Value.Int 1));
+  Alcotest.(check bool) "max" true (m.Col_stats.max_v = Some (Value.Int 5));
+  check_in "ndv" 3. 6.5 m.Col_stats.ndv
+
+let test_tbl_stats () =
+  let schema =
+    Schema.make "t" [ Schema.column "a" Types.Tint; Schema.column "b" Types.Tstring ]
+  in
+  let rows = List.init 10 (fun i -> [| Value.Int i; Value.String "x" |]) in
+  let s = Tbl_stats.of_rows schema rows in
+  checkf "row count" 10. (Tbl_stats.row_count s);
+  Alcotest.(check bool) "col a present" true (Tbl_stats.col s "a" <> None);
+  Alcotest.(check bool) "case-insensitive" true (Tbl_stats.col s "A" <> None)
+
+let test_tbl_stats_merge () =
+  let schema = Schema.make "t" [ Schema.column "a" Types.Tint ] in
+  let mk lo = Tbl_stats.of_rows schema (List.init 5 (fun i -> [| Value.Int (lo + i) |])) in
+  let m = Tbl_stats.merge [ mk 0; mk 5; mk 10 ] in
+  checkf "merged rows" 15. (Tbl_stats.row_count m);
+  let cs = Option.get (Tbl_stats.col m "a") in
+  Alcotest.(check bool) "merged max" true (cs.Col_stats.max_v = Some (Value.Int 14))
+
+(* properties *)
+let arb_ints = QCheck.(list_of_size (Gen.int_range 0 200) (int_range (-50) 50))
+
+let prop_le_monotone =
+  QCheck.Test.make ~name:"rows_le monotone in probe" ~count:200
+    QCheck.(pair arb_ints (pair (int_range (-60) 60) (int_range (-60) 60)))
+    (fun (l, (a, b)) ->
+       let h = Histogram.build (ints l) in
+       let a, b = (min a b, max a b) in
+       Histogram.rows_le h (Value.Int a) <= Histogram.rows_le h (Value.Int b) +. 1e-9)
+
+let prop_mass_conserved =
+  QCheck.Test.make ~name:"le + ge = non-null mass" ~count:200
+    QCheck.(pair arb_ints (int_range (-60) 60))
+    (fun (l, p) ->
+       let h = Histogram.build (ints l) in
+       let v = Value.Int p in
+       let total = Histogram.rows_le h v +. Histogram.rows_ge ~strict:true h v in
+       Float.abs (total -. Histogram.non_null_rows h) < 1e-6)
+
+let prop_merge_mass =
+  QCheck.Test.make ~name:"merge conserves row mass" ~count:100
+    QCheck.(pair arb_ints arb_ints)
+    (fun (l1, l2) ->
+       let h1 = Histogram.build (ints l1) and h2 = Histogram.build (ints l2) in
+       let m = Histogram.merge [ h1; h2 ] in
+       Float.abs (Histogram.total_rows m -. float_of_int (List.length l1 + List.length l2))
+       < 1.0)
+
+let suite =
+  [ t "build totals" test_build_totals;
+    t "equality estimate" test_eq_estimate;
+    t "range estimate" test_range_estimate;
+    t "min/max" test_min_max;
+    t "merge preserves mass" test_merge_preserves_mass;
+    t "merged estimates" test_merge_estimates;
+    t "empty merge" test_empty_merge;
+    t "col stats of values" test_col_stats_of_values;
+    t "col stats merge" test_col_stats_merge;
+    t "table stats" test_tbl_stats;
+    t "table stats merge (local->global)" test_tbl_stats_merge;
+    QCheck_alcotest.to_alcotest prop_le_monotone;
+    QCheck_alcotest.to_alcotest prop_mass_conserved;
+    QCheck_alcotest.to_alcotest prop_merge_mass ]

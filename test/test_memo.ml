@@ -1,0 +1,185 @@
+(* The MEMO structure: insertion, dedup, group merging, logical properties,
+   and the XML interchange round trip. *)
+
+open Algebra
+
+let t name f = Alcotest.test_case name `Quick f
+
+let build sql =
+  let sh = Fixtures.shell () in
+  let r = Algebra.Algebrizer.of_sql sh sql in
+  let tr = Normalize.normalize r.Algebrizer.reg sh r.Algebrizer.tree in
+  (r.Algebrizer.reg, sh, Memo.of_tree r.Algebrizer.reg sh tr)
+
+let test_insert_dedup () =
+  let _, _, m =
+    build "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey"
+  in
+  let before_groups = Memo.ngroups m and before_exprs = Memo.total_exprs m in
+  (* re-inserting an existing expression must be a no-op *)
+  let g = Memo.root m in
+  let e = List.hd (Memo.exprs m g) in
+  let g' = Memo.insert m e.Memo.op e.Memo.children in
+  Alcotest.(check int) "same group" (Memo.find m g) (Memo.find m g');
+  Alcotest.(check int) "no new groups" before_groups (Memo.ngroups m);
+  Alcotest.(check int) "no new exprs" before_exprs (Memo.total_exprs m)
+
+let test_shared_subtrees_dedup () =
+  (* the same Get used twice in one query (Q20's duplicated part subtree)
+     lands in a single group *)
+  let reg, sh, _ = build "SELECT c_name FROM customer" in
+  ignore reg;
+  let r = Algebra.Algebrizer.of_sql sh "SELECT c_name FROM customer WHERE c_acctbal > 0" in
+  let tr = Normalize.normalize r.Algebrizer.reg sh r.Algebrizer.tree in
+  let m = Memo.of_tree r.Algebrizer.reg sh tr in
+  (* inserting the same tree twice: all groups deduplicate *)
+  let n1 = Memo.ngroups m in
+  let g2 = Memo.insert_tree m tr in
+  Alcotest.(check int) "identical tree dedups fully" n1 (Memo.ngroups m);
+  Alcotest.(check int) "same root group" (Memo.root m) (Memo.find m g2)
+
+let test_group_merge () =
+  let _, _, m = build "SELECT c_name FROM customer" in
+  let ga = Memo.root m in
+  (* make a distinct group then merge it *)
+  let gb =
+    Memo.insert m
+      (Memo.Logical (Relop.Empty (Registry.Col_set.elements (Memo.props m ga).Memo.cols)))
+      [||]
+  in
+  Alcotest.(check bool) "distinct before merge" true (Memo.find m ga <> Memo.find m gb);
+  Memo.merge_groups m ga gb;
+  Alcotest.(check int) "merged" (Memo.find m ga) (Memo.find m gb);
+  let exprs = Memo.exprs m ga in
+  Alcotest.(check bool) "expressions combined" true (List.length exprs >= 2)
+
+let test_props_cardinality () =
+  let _, _, m =
+    build "SELECT c_name FROM customer WHERE c_acctbal > 999999999"
+  in
+  let root_card = (Memo.props m (Memo.root m)).Memo.card in
+  Alcotest.(check bool) "selective filter reduces estimate" true (root_card < 300.)
+
+let test_props_cols () =
+  let _, _, m = build "SELECT c_custkey, c_name FROM customer" in
+  Alcotest.(check int) "root outputs 2 cols" 2
+    (Registry.Col_set.cardinal (Memo.props m (Memo.root m)).Memo.cols)
+
+let test_width () =
+  let _, _, m = build "SELECT c_custkey FROM customer" in
+  let w = (Memo.props m (Memo.root m)).Memo.width in
+  Alcotest.(check (float 0.01)) "int key is 8 bytes" 8.0 w
+
+(* -- XML round trip -- *)
+
+let roundtrip m sh =
+  let xml = Memo.Memo_xml.export_string m in
+  let m2 = Memo.Memo_xml.import_string sh xml in
+  (xml, m2)
+
+let test_xml_roundtrip_counts () =
+  List.iter
+    (fun q ->
+       let sh = Fixtures.shell () in
+       let r = Algebra.Algebrizer.of_sql sh q.Tpch.Queries.sql in
+       let tr = Normalize.normalize r.Algebrizer.reg sh r.Algebrizer.tree in
+       let res = Serialopt.Optimizer.optimize r.Algebrizer.reg sh tr in
+       let m = res.Serialopt.Optimizer.memo in
+       let _, m2 = roundtrip m sh in
+       Alcotest.(check int)
+         ("exprs preserved: " ^ q.Tpch.Queries.id)
+         (Memo.total_exprs m) (Memo.total_exprs m2);
+       (* props preserved at the root *)
+       let p1 = Memo.props m (Memo.root m) and p2 = Memo.props m2 (Memo.root m2) in
+       Alcotest.(check (float 0.001)) "card preserved" p1.Memo.card p2.Memo.card;
+       Alcotest.(check (float 0.001)) "width preserved" p1.Memo.width p2.Memo.width;
+       Alcotest.(check int) "cols preserved"
+         (Registry.Col_set.cardinal p1.Memo.cols)
+         (Registry.Col_set.cardinal p2.Memo.cols))
+    [ Option.get (Tpch.Queries.find "P1");
+      Option.get (Tpch.Queries.find "Q3");
+      Option.get (Tpch.Queries.find "Q20") ]
+
+let test_xml_registry_roundtrip () =
+  let sh = Fixtures.shell () in
+  let r = Algebra.Algebrizer.of_sql sh "SELECT c_custkey, c_name FROM customer" in
+  let tr = Normalize.normalize r.Algebrizer.reg sh r.Algebrizer.tree in
+  let m = Memo.of_tree r.Algebrizer.reg sh tr in
+  let _, m2 = roundtrip m sh in
+  let reg1 = m.Memo.reg and reg2 = m2.Memo.reg in
+  Alcotest.(check int) "col count" (Registry.count reg1) (Registry.count reg2);
+  for id = 0 to Registry.count reg1 - 1 do
+    Alcotest.(check string) "name" (Registry.name reg1 id) (Registry.name reg2 id);
+    Alcotest.(check string) "label" (Registry.label reg1 id) (Registry.label reg2 id)
+  done
+
+(* random expression encode/decode *)
+let arb_expr =
+  let open QCheck.Gen in
+  let lit_gen =
+    oneof
+      [ map (fun i -> Catalog.Value.Int i) small_signed_int;
+        map (fun f -> Catalog.Value.Float f) (float_bound_inclusive 100.);
+        map (fun s -> Catalog.Value.String s) (string_size ~gen:printable (int_range 0 6));
+        return Catalog.Value.Null ]
+  in
+  let rec gen n =
+    if n = 0 then
+      oneof [ map (fun c -> Expr.Col c) (int_range 0 20); map (fun v -> Expr.Lit v) lit_gen ]
+    else
+      frequency
+        [ (2, map (fun c -> Expr.Col c) (int_range 0 20));
+          (2, map (fun v -> Expr.Lit v) lit_gen);
+          (3,
+           map3
+             (fun op a b -> Expr.Bin (op, a, b))
+             (oneofl Expr.[ Add; Sub; Mul; Eq; Lt; And; Or ])
+             (gen (n - 1)) (gen (n - 1)));
+          (1, map (fun a -> Expr.Un (Expr.Not, a)) (gen (n - 1)));
+          (1, map (fun a -> Expr.Is_null (a, true)) (gen (n - 1)));
+          (1, map (fun a -> Expr.Like (a, "ab%c_", false)) (gen (n - 1)));
+          (1,
+           map2 (fun a v -> Expr.In_list (a, v, true)) (gen (n - 1)) (list_size (int_range 0 3) lit_gen));
+          (1, map2 (fun c v -> Expr.Case ([ (c, v) ], Some v)) (gen (n - 1)) (gen (n - 1)));
+          (1, map (fun a -> Expr.Cast (a, Catalog.Types.Tfloat)) (gen (n - 1))) ]
+  in
+  QCheck.make (gen 4)
+
+let prop_expr_xml_roundtrip =
+  QCheck.Test.make ~name:"expression XML round trip" ~count:500 arb_expr
+    (fun e ->
+       let xml = Memo.Memo_xml.expr_to_xml e in
+       let e' = Memo.Memo_xml.expr_of_xml (Memo.Xml.parse (Memo.Xml.to_string xml)) in
+       Expr.equal e e')
+
+(* XML parser unit checks *)
+let test_xml_escape () =
+  let n =
+    Memo.Xml.node ~attrs:[ ("v", "a<b&\"c'd>") ] "x"
+  in
+  let s = Memo.Xml.to_string n in
+  let n' = Memo.Xml.parse s in
+  Alcotest.(check string) "escaped attr" "a<b&\"c'd>" (Memo.Xml.attr n' "v")
+
+let test_xml_errors () =
+  let fails s =
+    match Memo.Xml.parse s with
+    | exception Memo.Xml.Xml_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "<a><b></a>";
+  fails "<a";
+  fails "<a attr></a>"
+
+let suite =
+  [ t "insert dedup" test_insert_dedup;
+    t "identical trees share groups" test_shared_subtrees_dedup;
+    t "group merging" test_group_merge;
+    t "cardinality property" test_props_cardinality;
+    t "column property" test_props_cols;
+    t "width property" test_width;
+    t "memo XML round trip (counts/props)" test_xml_roundtrip_counts;
+    t "memo XML registry round trip" test_xml_registry_roundtrip;
+    QCheck_alcotest.to_alcotest prop_expr_xml_roundtrip;
+    t "XML attribute escaping" test_xml_escape;
+    t "XML parse errors" test_xml_errors ]

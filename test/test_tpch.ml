@@ -1,0 +1,129 @@
+(* TPC-H substrate: schema integrity and generator invariants. *)
+
+open Catalog
+
+let t name f = Alcotest.test_case name `Quick f
+
+let db = lazy (Tpch.Datagen.generate 0.002)
+
+let rows name = Tpch.Datagen.rows (Lazy.force db) name
+
+let test_schema_count () =
+  Alcotest.(check int) "8 tables" 8 (List.length Tpch.Schema.layout)
+
+let test_distribution_layout () =
+  let dist name =
+    let schema, d = List.find (fun (s, _) -> s.Schema.name = name) Tpch.Schema.layout in
+    ignore schema; d
+  in
+  Alcotest.(check bool) "orders on orderkey" true
+    (Distribution.equal (dist "orders") (Distribution.Hash_partitioned [ "o_orderkey" ]));
+  Alcotest.(check bool) "lineitem collocated with orders" true
+    (Distribution.equal (dist "lineitem") (Distribution.Hash_partitioned [ "l_orderkey" ]));
+  Alcotest.(check bool) "customer on custkey" true
+    (Distribution.equal (dist "customer") (Distribution.Hash_partitioned [ "c_custkey" ]));
+  List.iter
+    (fun n ->
+       Alcotest.(check bool) (n ^ " replicated") true
+         (Distribution.is_replicated (dist n)))
+    [ "nation"; "region"; "supplier" ]
+
+let test_fk_declarations () =
+  (* every declared FK points at an existing table/column *)
+  List.iter
+    (fun (schema, _) ->
+       Array.iter
+         (fun (c : Schema.column) ->
+            match c.Schema.references with
+            | None -> ()
+            | Some (tbl, col) ->
+              let target, _ =
+                List.find (fun (s, _) -> s.Schema.name = tbl) Tpch.Schema.layout
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s -> %s.%s" schema.Schema.name c.Schema.col_name tbl col)
+                true
+                (Schema.find_col target col <> None))
+         schema.Schema.columns)
+    Tpch.Schema.layout
+
+let test_row_counts_scale () =
+  let n name = List.length (rows name) in
+  Alcotest.(check int) "5 regions" 5 (n "region");
+  Alcotest.(check int) "25 nations" 25 (n "nation");
+  Alcotest.(check bool) "orders ~ 10x customers" true
+    (n "orders" >= 8 * n "customer" && n "orders" <= 12 * n "customer");
+  Alcotest.(check bool) "lineitem ~ 4x orders" true
+    (n "lineitem" >= 2 * n "orders" && n "lineitem" <= 7 * n "orders")
+
+let test_determinism () =
+  let a = Tpch.Datagen.generate 0.001 and b = Tpch.Datagen.generate 0.001 in
+  Alcotest.(check bool) "same output for same sf" true
+    (Tpch.Datagen.rows a "lineitem" = Tpch.Datagen.rows b "lineitem")
+
+let test_referential_integrity () =
+  let keys name idx =
+    List.fold_left
+      (fun acc (r : Value.t array) -> match r.(idx) with Value.Int k -> k :: acc | _ -> acc)
+      [] (rows name)
+    |> List.sort_uniq compare
+  in
+  let custkeys = keys "customer" 0 in
+  let order_custs = keys "orders" 1 in
+  Alcotest.(check bool) "orders reference existing customers" true
+    (List.for_all (fun k -> List.mem k custkeys) order_custs);
+  let orderkeys = keys "orders" 0 in
+  let li_orders = keys "lineitem" 0 in
+  Alcotest.(check bool) "lineitems reference existing orders" true
+    (List.for_all (fun k -> List.mem k orderkeys) li_orders)
+
+let test_lineitem_dates_consistent () =
+  List.iter
+    (fun (r : Value.t array) ->
+       match r.(10), r.(12) with
+       | Value.Date ship, Value.Date receipt ->
+         Alcotest.(check bool) "ship < receipt" true (ship < receipt)
+       | _ -> Alcotest.fail "dates expected")
+    (rows "lineitem")
+
+let test_forest_parts_exist () =
+  (* Q20's predicate must be satisfiable *)
+  let forest =
+    List.filter
+      (fun (r : Value.t array) ->
+         match r.(1) with
+         | Value.String name ->
+           String.length name >= 6 && String.sub name 0 6 = "forest"
+         | _ -> false)
+      (rows "part")
+  in
+  Alcotest.(check bool) "some forest% parts" true (forest <> [])
+
+let test_value_types_match_schema () =
+  List.iter
+    (fun (schema, _) ->
+       match rows schema.Schema.name with
+       | [] -> ()
+       | row :: _ ->
+         Array.iteri
+           (fun i (c : Schema.column) ->
+              match Value.type_of row.(i) with
+              | None -> ()
+              | Some ty ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s.%s type" schema.Schema.name c.Schema.col_name)
+                  true
+                  (Types.compatible ty c.Schema.col_type))
+           schema.Schema.columns)
+    Tpch.Schema.layout
+
+let suite =
+  [ t "table count" test_schema_count;
+    t "paper distribution layout" test_distribution_layout;
+    t "FK declarations valid" test_fk_declarations;
+    t "row counts scale" test_row_counts_scale;
+    t "generator is deterministic" test_determinism;
+    t "referential integrity" test_referential_integrity;
+    t "lineitem date ordering" test_lineitem_dates_consistent;
+    t "forest parts exist (Q20)" test_forest_parts_exist;
+    t "value types match schema" test_value_types_match_schema ]

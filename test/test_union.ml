@@ -1,0 +1,156 @@
+(* UNION ALL across the whole stack (paper §3.1: the search space is
+   extended "especially around collocation of joins and unions"). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let w () = Lazy.force Fixtures.tpch_workload
+
+let run_both sql =
+  let wl = w () in
+  let r = Opdw.optimize wl.Opdw.Workload.shell sql in
+  let dist = Opdw.run wl.Opdw.Workload.app r in
+  let reference = Option.get (Opdw.run_reference wl.Opdw.Workload.app r) in
+  let cols = List.map snd (Opdw.output_columns r) in
+  (r, Engine.Local.canonical ~cols dist, Engine.Local.canonical ~cols reference)
+
+let test_parse_union () =
+  let q = Sqlfront.Parser.parse "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a" in
+  Alcotest.(check bool) "union chained" true (q.Sqlfront.Ast.union_all <> None);
+  Alcotest.(check int) "first block has no order" 0 (List.length q.Sqlfront.Ast.order_by);
+  match q.Sqlfront.Ast.union_all with
+  | Some tail -> Alcotest.(check int) "tail carries the order" 1 (List.length tail.Sqlfront.Ast.order_by)
+  | None -> assert false
+
+let test_union_without_all_rejected () =
+  match Sqlfront.Parser.parse "SELECT a FROM t UNION SELECT b FROM u" with
+  | exception Sqlfront.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bare UNION should be rejected (subset supports UNION ALL)"
+
+let test_arity_mismatch_rejected () =
+  let wl = w () in
+  match
+    Opdw.optimize wl.Opdw.Workload.shell
+      "SELECT c_custkey, c_name FROM customer UNION ALL SELECT o_orderkey FROM orders"
+  with
+  | exception Algebra.Algebrizer.Unsupported _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let test_collocated_union_no_moves () =
+  (* both branches hash-partitioned on the same (projected) column id space:
+     orders split by price band; re-united without any movement *)
+  let r, dist, reference =
+    run_both
+      "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 300000 \
+       UNION ALL \
+       SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice <= 300000"
+  in
+  Alcotest.(check (list string)) "union correct" reference dist;
+  Alcotest.(check int) "no movement for collocated branches" 0
+    (Pdwopt.Pplan.move_count (Opdw.plan r))
+
+let test_union_of_incompatible_branches () =
+  (* customer keys union order keys: branch distributions differ; a movement
+     aligns them (or the union stays unaligned and is gathered) *)
+  let _, dist, reference =
+    run_both
+      "SELECT c_custkey AS k FROM customer WHERE c_acctbal > 5000 \
+       UNION ALL \
+       SELECT o_custkey AS k FROM orders WHERE o_totalprice > 400000"
+  in
+  Alcotest.(check (list string)) "union correct" reference dist
+
+let test_union_then_aggregate () =
+  let _, dist, reference =
+    run_both
+      "SELECT k, COUNT(*) AS c FROM (\
+         SELECT c_nationkey AS k FROM customer \
+         UNION ALL \
+         SELECT s_nationkey AS k FROM supplier) AS nk \
+       GROUP BY k ORDER BY k"
+  in
+  Alcotest.(check (list string)) "aggregate over union" reference dist
+
+let test_union_order_and_top () =
+  let wl = w () in
+  let r =
+    Opdw.optimize wl.Opdw.Workload.shell
+      "SELECT c_custkey AS k FROM customer UNION ALL SELECT o_custkey AS k FROM orders \
+       ORDER BY k DESC"
+  in
+  let res = Opdw.run wl.Opdw.Workload.app r in
+  let keys = List.map (fun row -> Catalog.Value.to_float row.(0)) res.Engine.Local.rows in
+  let sorted = List.sort (fun a b -> compare b a) keys in
+  Alcotest.(check bool) "globally ordered" true (keys = sorted)
+
+let test_union_counts_add () =
+  let wl = w () in
+  let count sql =
+    let r = Opdw.optimize wl.Opdw.Workload.shell sql in
+    List.length (Opdw.run wl.Opdw.Workload.app r).Engine.Local.rows
+  in
+  let a = count "SELECT c_custkey FROM customer" in
+  let b = count "SELECT o_orderkey FROM orders" in
+  let u = count "SELECT c_custkey FROM customer UNION ALL SELECT o_orderkey FROM orders" in
+  Alcotest.(check int) "UNION ALL keeps duplicates" (a + b) u
+
+let test_union_three_branches () =
+  let _, dist, reference =
+    run_both
+      "SELECT n_nationkey AS k FROM nation \
+       UNION ALL SELECT r_regionkey AS k FROM region \
+       UNION ALL SELECT s_suppkey AS k FROM supplier"
+  in
+  Alcotest.(check (list string)) "three-way union" reference dist
+
+let test_union_pushdown () =
+  (* a filter above the union reaches both branches *)
+  let wl = w () in
+  let r =
+    Algebra.Algebrizer.of_sql wl.Opdw.Workload.shell
+      "SELECT k FROM (SELECT c_custkey AS k FROM customer \
+       UNION ALL SELECT o_custkey AS k FROM orders) AS u WHERE k < 10"
+  in
+  let tr =
+    Algebra.Normalize.normalize r.Algebra.Algebrizer.reg wl.Opdw.Workload.shell
+      r.Algebra.Algebrizer.tree
+  in
+  let rec selects_below_union (n : Algebra.Relop.t) ~below =
+    let here =
+      match n.Algebra.Relop.op with
+      | Algebra.Relop.Select _ when below -> 1
+      | _ -> 0
+    in
+    let below =
+      below || (match n.Algebra.Relop.op with Algebra.Relop.Union_all -> true | _ -> false)
+    in
+    here + List.fold_left (fun a c -> a + selects_below_union c ~below) 0 n.Algebra.Relop.children
+  in
+  Alcotest.(check bool) "filter pushed into both branches" true
+    (selects_below_union tr ~below:false >= 2)
+
+let test_union_dsql_rendered () =
+  let wl = w () in
+  let r =
+    Opdw.optimize wl.Opdw.Workload.shell
+      "SELECT n_nationkey FROM nation UNION ALL SELECT r_regionkey FROM region"
+  in
+  let s = Dsql.Generate.to_string r.Opdw.dsql in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "UNION ALL in DSQL" true (contains s "UNION ALL")
+
+let suite =
+  [ t "parse UNION ALL with trailing ORDER BY" test_parse_union;
+    t "bare UNION rejected" test_union_without_all_rejected;
+    t "arity mismatch rejected" test_arity_mismatch_rejected;
+    t "collocated branches: no movement" test_collocated_union_no_moves;
+    t "incompatible branches still correct" test_union_of_incompatible_branches;
+    t "aggregate over a union" test_union_then_aggregate;
+    t "union-wide ORDER BY" test_union_order_and_top;
+    t "UNION ALL keeps duplicates" test_union_counts_add;
+    t "three-branch union" test_union_three_branches;
+    t "filter pushdown into branches" test_union_pushdown;
+    t "DSQL renders UNION ALL" test_union_dsql_rendered ]

@@ -1,0 +1,102 @@
+(* Values: comparison, hashing, dates, LIKE matching. *)
+
+open Catalog
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+let t name f = Alcotest.test_case name `Quick f
+
+let date y m d = Value.days_from_civil ~y ~m ~d
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+       let z = date y m d in
+       check (Alcotest.triple int_ int_ int_) "civil round trip" (y, m, d)
+         (Value.civil_from_days z))
+    [ (1970, 1, 1); (1994, 1, 1); (2000, 2, 29); (1999, 12, 31); (1900, 3, 1) ]
+
+let test_date_epoch () =
+  check int_ "epoch is day 0" 0 (date 1970 1 1);
+  check int_ "day after epoch" 1 (date 1970 1 2)
+
+let test_date_of_string () =
+  check (Alcotest.option int_) "parse" (Some (date 1994 1 1)) (Value.date_of_string "1994-01-01");
+  check (Alcotest.option int_) "parse with time" (Some (date 1995 1 1))
+    (Value.date_of_string "1995-01-01 00:00:00.000");
+  check (Alcotest.option int_) "garbage" None (Value.date_of_string "not-a-date")
+
+let test_add_years () =
+  check string_ "add 1 year" "1995-01-01" (Value.string_of_date (Value.add_years (date 1994 1 1) 1));
+  check string_ "leap clamp" "2001-02-28"
+    (Value.string_of_date (Value.add_years (date 2000 2 29) 1))
+
+let test_add_months () =
+  check string_ "add 3 months" "1993-10-01"
+    (Value.string_of_date (Value.add_months (date 1993 7 1) 3));
+  check string_ "across year" "1994-01-15"
+    (Value.string_of_date (Value.add_months (date 1993 11 15) 2))
+
+let test_compare_numeric () =
+  check bool_ "int < float" true (Value.compare (Value.Int 1) (Value.Float 1.5) < 0);
+  check bool_ "int = float" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check bool_ "nulls first" true (Value.compare Value.Null (Value.Int (-100)) < 0)
+
+let test_hash_consistent_int_float () =
+  check bool_ "hash(2) = hash(2.0)" true
+    (Value.hash (Value.Int 2) = Value.hash (Value.Float 2.0))
+
+let test_to_sql () =
+  check string_ "string escaping" "'it''s'" (Value.to_sql (Value.String "it's"));
+  check string_ "date cast" "CAST ('1994-01-01' AS DATE)"
+    (Value.to_sql (Value.Date (date 1994 1 1)));
+  check string_ "null" "NULL" (Value.to_sql Value.Null)
+
+(* property: compare is a total order consistent with equal *)
+let arb_value =
+  QCheck.make
+    ~print:(fun v -> Value.to_string v)
+    QCheck.Gen.(
+      oneof
+        [ return Value.Null;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun f -> Value.Float f) (float_bound_inclusive 1000.);
+          map (fun s -> Value.String s) (string_size (int_range 0 8));
+          map (fun b -> Value.Bool b) bool;
+          map (fun d -> Value.Date d) (int_range 0 20000) ])
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> compare (Value.compare a b) 0 = compare 0 (Value.compare b a))
+
+let prop_compare_refl =
+  QCheck.Test.make ~name:"compare reflexive" ~count:200 arb_value
+    (fun a -> Value.compare a a = 0)
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500
+    (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date string round trip" ~count:500
+    (QCheck.make QCheck.Gen.(int_range (-100000) 100000))
+    (fun z -> Value.date_of_string (Value.string_of_date z) = Some z)
+
+let suite =
+  [ t "date round trip" test_date_roundtrip;
+    t "date epoch" test_date_epoch;
+    t "date_of_string" test_date_of_string;
+    t "add years" test_add_years;
+    t "add months" test_add_months;
+    t "numeric comparison" test_compare_numeric;
+    t "int/float hash consistency" test_hash_consistent_int_float;
+    t "to_sql" test_to_sql;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_compare_refl;
+    QCheck_alcotest.to_alcotest prop_equal_hash;
+    QCheck_alcotest.to_alcotest prop_date_roundtrip ]
