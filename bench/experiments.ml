@@ -9,6 +9,53 @@ let section id title =
 
 let rowf fmt = Printf.printf fmt
 
+(* ------------------------------------------------------------------ *)
+(* machine-readable results: experiments record (key, value) pairs and
+   `bench --tables` dumps them to BENCH_results.json, so plots and
+   regression checks need not scrape the report text *)
+
+let metrics : (string, (string * float) list ref) Hashtbl.t = Hashtbl.create 16
+
+let record exp k v =
+  let l =
+    match Hashtbl.find_opt metrics exp with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace metrics exp l;
+      l
+  in
+  l := (k, v) :: !l
+
+let recordi exp k v = record exp k (float_of_int v)
+
+let json_num v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let write_results path =
+  let exps =
+    Hashtbl.fold (fun id l acc -> (id, List.rev !l) :: acc) metrics []
+    |> List.sort compare
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (id, kvs) ->
+       Printf.fprintf oc "  %S: {\n" id;
+       let n = List.length kvs in
+       List.iteri
+         (fun j (k, v) ->
+            Printf.fprintf oc "    %S: %s%s\n" k (json_num v)
+              (if j = n - 1 then "" else ","))
+         kvs;
+       Printf.fprintf oc "  }%s\n" (if i = List.length exps - 1 then "" else ","))
+    exps;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d experiments)\n%!" path (List.length exps)
+
 (* shared workloads, built lazily per (nodes, sf) *)
 let workloads : (int * float, Opdw.Workload.t) Hashtbl.t = Hashtbl.create 4
 
@@ -57,6 +104,10 @@ let e1 () =
   let w = workload ~nodes:8 ~sf:0.01 in
   let r = optimize w (query "F3") in
   let m = r.Opdw.memo in
+  recordi "E1" "memo_xml_bytes"
+    (match r.Opdw.memo_xml with Some x -> String.length x | None -> 0);
+  recordi "E1" "memo_groups" (Memo.ngroups m);
+  recordi "E1" "memo_exprs" (Memo.total_exprs m);
   Printf.printf "\n-- serial MEMO (exported from the serial optimizer as XML, %d bytes) --\n"
     (match r.Opdw.memo_xml with Some x -> String.length x | None -> 0);
   print_endline (Memo.to_string m);
@@ -101,6 +152,9 @@ let e2 () =
   Printf.printf "movement chosen: %s (paper: Shuffle)\n"
     (String.concat ", " (List.map Dms.Op.name moves));
   let n, sim, _ = execute w (Opdw.plan r) in
+  recordi "E2" "dsql_steps" (Dsql.Generate.step_count r.Opdw.dsql);
+  recordi "E2" "result_rows" n;
+  record "E2" "sim_seconds" sim;
   Printf.printf "executed: %d result rows, simulated response time %.4gs\n" n sim
 
 (* ------------------------------------------------------------------ *)
@@ -124,6 +178,10 @@ let e3 () =
     (baseline.Pdwopt.Pplan.dms_cost /. Float.max 1e-12 pdw.Pdwopt.Pplan.dms_cost);
   let _, sim_b, _ = execute w baseline in
   let _, sim_p, _ = execute w pdw in
+  record "E3" "baseline_dms_seconds" baseline.Pdwopt.Pplan.dms_cost;
+  record "E3" "pdw_dms_seconds" pdw.Pdwopt.Pplan.dms_cost;
+  record "E3" "baseline_sim_seconds" sim_b;
+  record "E3" "pdw_sim_seconds" sim_p;
   Printf.printf "simulated times         : baseline %.4gs vs PDW %.4gs (%.2fx)\n" sim_b sim_p
     (sim_b /. Float.max 1e-12 sim_p);
   Printf.printf
@@ -150,6 +208,10 @@ let e4 () =
     (List.length (List.filter (function Dms.Op.Shuffle _ -> true | _ -> false) moves) >= 2
      || has "PartitionMove");
   let n, sim, _ = execute w (Opdw.plan r) in
+  recordi "E4" "dsql_steps" (Dsql.Generate.step_count r.Opdw.dsql);
+  recordi "E4" "moves" (List.length moves);
+  recordi "E4" "result_rows" n;
+  record "E4" "sim_seconds" sim;
   Printf.printf "executed: %d result rows, simulated response time %.4gs\n" n sim
 
 (* ------------------------------------------------------------------ *)
@@ -312,9 +374,13 @@ let e7 () =
          in
          speedups := mx :: !speedups;
          sim_speedups := sx :: !sim_speedups;
+         record "E7" (q.Tpch.Queries.id ^ ".model_x") mx;
+         record "E7" (q.Tpch.Queries.id ^ ".sim_x") sx;
          rowf "%-5s %-13.4g %-13.4g %-9.2f %-12.4g %-12.4g %-9.2f %-10.2f\n" q.Tpch.Queries.id
            b.Pdwopt.Pplan.dms_cost p.Pdwopt.Pplan.dms_cost mx sim_b sim_p sx ax)
     Tpch.Queries.all;
+  record "E7" "geomean_model_x" (geomean !speedups);
+  record "E7" "geomean_sim_x" (geomean !sim_speedups);
   Printf.printf
     "\ngeometric mean improvement: modelled %.2fx, simulated %.2fx\n\
      ('dms-only x' = the paper's pure movement-cost objective, without the\n\
@@ -363,29 +429,47 @@ let chain_query k =
 
 let e8 () =
   section "E8" "Optimizer scalability: chain joins, with/without pruning (Fig. 4, 06.ii)";
-  Printf.printf "%-7s %-8s %-8s | %-22s | %-24s\n" "" "" ""
+  Printf.printf "%-7s %-8s %-8s %-8s | %-22s | %-24s\n" "" "" "" ""
     "pruned (paper)" "unpruned (ablation)";
-  Printf.printf "%-7s %-8s %-8s | %-10s %-11s | %-10s %-13s\n" "tables" "groups" "exprs"
-    "kept opts" "time (ms)" "kept opts" "time (ms)";
+  Printf.printf "%-7s %-8s %-8s %-8s | %-10s %-11s | %-10s %-13s\n" "tables" "groups"
+    "exprs" "enum'd" "kept opts" "time (ms)" "kept opts" "time (ms)";
   List.iter
     (fun k ->
        let sh = chain_shell k ~node_count:8 in
        let r = Algebra.Algebrizer.of_sql sh (chain_query k) in
        let tr = Algebra.Normalize.normalize r.Algebra.Algebrizer.reg sh
            r.Algebra.Algebrizer.tree in
-       let sres = Serialopt.Optimizer.optimize r.Algebra.Algebrizer.reg sh tr in
+       (* memo and enumeration sizes come from the Obs counters both
+          optimizers report -- the same ones `explain --profile` prints *)
+       let sobs = Obs.create () in
+       let sres =
+         Serialopt.Optimizer.optimize ~obs:sobs r.Algebra.Algebrizer.reg sh tr
+       in
        let m = sres.Serialopt.Optimizer.memo in
+       let groups = int_of_float (Obs.counter sobs "serial.memo.groups") in
+       let exprs = int_of_float (Obs.counter sobs "serial.memo.exprs") in
        let run prune =
+         let obs = Obs.create () in
          let t0 = Sys.time () in
          let opts = { Pdwopt.Enumerate.default_opts with Pdwopt.Enumerate.prune } in
-         let pres = Pdwopt.Optimizer.optimize ~opts m in
+         ignore (Pdwopt.Optimizer.optimize ~obs ~opts m);
          let dt = (Sys.time () -. t0) *. 1000. in
-         (pres.Pdwopt.Optimizer.stats.Pdwopt.Enumerate.options_kept, dt)
+         (int_of_float (Obs.counter obs "pdw.options_kept"),
+          int_of_float (Obs.counter obs "pdw.exprs_enumerated"), dt)
        in
-       let kept_p, t_p = run true in
-       let kept_u, t_u = if k <= 6 then run false else (-1, nan) in
-       rowf "%-7d %-8d %-8d | %-10d %-11.1f | %-10s %-13s\n" k (Memo.ngroups m)
-         (Memo.total_exprs m) kept_p t_p
+       let kept_p, enum_p, t_p = run true in
+       let kept_u, _, t_u = if k <= 6 then run false else (-1, -1, nan) in
+       recordi "E8" (Printf.sprintf "chain%d.memo_groups" k) groups;
+       recordi "E8" (Printf.sprintf "chain%d.memo_exprs" k) exprs;
+       recordi "E8" (Printf.sprintf "chain%d.pdw_enumerated" k) enum_p;
+       recordi "E8" (Printf.sprintf "chain%d.kept_pruned" k) kept_p;
+       record "E8" (Printf.sprintf "chain%d.ms_pruned" k) t_p;
+       if kept_u >= 0 then begin
+         recordi "E8" (Printf.sprintf "chain%d.kept_unpruned" k) kept_u;
+         record "E8" (Printf.sprintf "chain%d.ms_unpruned" k) t_u
+       end;
+       rowf "%-7d %-8d %-8d %-8d | %-10d %-11.1f | %-10s %-13s\n" k groups exprs
+         enum_p kept_p t_p
          (if kept_u < 0 then "-" else string_of_int kept_u)
          (if Float.is_nan t_u then "-" else Printf.sprintf "%.1f" t_u))
     [ 2; 3; 4; 5; 6; 7; 8 ];
@@ -586,6 +670,8 @@ let e13 () =
        let r = optimize w (query "P1") in
        let p = Opdw.plan r in
        let b = match r.Opdw.baseline_plan with Some b -> b.Pdwopt.Pplan.dms_cost | None -> nan in
+       record "E13" (Printf.sprintf "n%d.pdw_dms_seconds" nodes) p.Pdwopt.Pplan.dms_cost;
+       record "E13" (Printf.sprintf "n%d.baseline_dms_seconds" nodes) b;
        rowf "%-7d %-22s %-14.4g %-14.4g\n" nodes (move_names p) p.Pdwopt.Pplan.dms_cost b)
     [ 2; 4; 8; 16; 32; 64 ];
   Printf.printf

@@ -1,9 +1,10 @@
 (* Benchmark entry point.
 
    Modes:
-     bench/main.exe                 run all experiments (E1..E11), then the
+     bench/main.exe                 run all experiments (E1..E13), then the
                                     bechamel micro-benchmarks
-     bench/main.exe --tables [Ek]   experiments only (optionally just one)
+     bench/main.exe --tables [Ek]   experiments only (optionally just one);
+                                    writes BENCH_results.json
      bench/main.exe --micro         micro-benchmarks only *)
 
 open Bechamel
@@ -99,7 +100,9 @@ let () =
   | _ :: "--tables" :: rest ->
     (match rest with
      | [] -> Experiments.all ()
-     | ids -> List.iter Experiments.by_id ids)
+     | ids -> List.iter Experiments.by_id ids);
+    Experiments.write_results "BENCH_results.json"
   | _ ->
     Experiments.all ();
+    Experiments.write_results "BENCH_results.json";
     run_micro ()

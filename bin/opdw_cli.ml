@@ -33,6 +33,40 @@ let resolve_sql query_id sql_arg file =
     prerr_endline "give a query: positional SQL, --query ID, or --file F";
     exit 1
 
+(* -- observability -- *)
+
+let obs_src = Logs.Src.create "opdw.obs" ~doc:"opdw observability event stream"
+
+(* Forward Obs sink events to a [Logs] debug source, so `--debug` streams
+   span openings/closings and metric updates as they happen. *)
+let logs_sink (ev : Obs.event) =
+  let msg =
+    match ev with
+    | Obs.Span_open path -> Printf.sprintf "span open  %s" (String.concat "/" path)
+    | Obs.Span_close (path, dt) ->
+      Printf.sprintf "span close %s (%.6fs)" (String.concat "/" path) dt
+    | Obs.Metric (path, k, v) ->
+      Printf.sprintf "metric     %s %s=%g" (String.concat "/" path) k v
+  in
+  Logs.debug ~src:obs_src (fun m -> m "%s" msg)
+
+let make_obs ~profile ~debug =
+  if debug then begin
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level ~all:true (Some Logs.Debug);
+    Obs.create ~sink:logs_sink ()
+  end
+  else if profile then Obs.create ()
+  else Obs.null
+
+let print_profile obs =
+  if Obs.enabled obs then begin
+    print_newline ();
+    print_endline "== profile ==";
+    print_string (Obs.report obs)
+  end
+
 (* -- common options -- *)
 
 let nodes_t =
@@ -58,6 +92,17 @@ let budget_t =
   Arg.(value & opt int 20000
        & info [ "budget" ] ~docv:"TASKS" ~doc:"Serial exploration task budget (timeout).")
 
+let profile_t =
+  Arg.(value & flag
+       & info [ "profile" ]
+         ~doc:"Collect per-stage timings and counters and print the profile report.")
+
+let debug_t =
+  Arg.(value & flag
+       & info [ "debug" ]
+         ~doc:"Stream observability events through the logs library at debug level \
+               (implies $(b,--profile)).")
+
 let options_of ~nodes ~seed ~budget =
   { (Opdw.default_options ~node_count:nodes) with
     Opdw.seed_collocated = seed;
@@ -66,11 +111,12 @@ let options_of ~nodes ~seed ~budget =
 
 (* -- explain -- *)
 
-let explain nodes sf query sql file seed budget verbose =
+let explain nodes sf query sql file seed budget verbose profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
-  let r = Opdw.optimize ~options w.Opdw.Workload.shell text in
+  let obs = make_obs ~profile ~debug in
+  let r = Opdw.optimize ~obs ~options w.Opdw.Workload.shell text in
   let reg = r.Opdw.memo.Memo.reg in
   if verbose then begin
     print_endline "== normalized logical tree ==";
@@ -86,25 +132,28 @@ let explain nodes sf query sql file seed budget verbose =
    | Some b ->
      Printf.printf "\nbaseline (parallelized serial) DMS cost: %.4gs; PDW: %.4gs\n"
        b.Pdwopt.Pplan.dms_cost (Opdw.plan r).Pdwopt.Pplan.dms_cost
-   | None -> ())
+   | None -> ());
+  print_profile obs
 
 let explain_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the logical tree and serial plan.")
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize a query and print its plans.")
-    Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ verbose)
+    Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ verbose
+          $ profile_t $ debug_t)
 
 (* -- run -- *)
 
-let run nodes sf query sql file seed budget limit =
+let run nodes sf query sql file seed budget limit profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
-  let r = Opdw.optimize ~options w.Opdw.Workload.shell text in
+  let obs = make_obs ~profile ~debug in
+  let r = Opdw.optimize ~obs ~options w.Opdw.Workload.shell text in
   let app = w.Opdw.Workload.app in
   Engine.Appliance.reset_account app;
-  let res = Opdw.run app r in
+  let res = Opdw.run ~obs app r in
   let names = List.map fst (Opdw.output_columns r) in
   print_endline (String.concat " | " names);
   List.iteri
@@ -120,14 +169,16 @@ let run nodes sf query sql file seed budget limit =
   Printf.printf
     "\n%d rows; %d DMS steps; %.0f bytes moved; simulated response time %.4gs (DMS %.4gs)\n"
     total a.Engine.Appliance.moves a.Engine.Appliance.bytes_moved
-    a.Engine.Appliance.sim_time a.Engine.Appliance.dms_time
+    a.Engine.Appliance.sim_time a.Engine.Appliance.dms_time;
+  print_profile obs
 
 let run_cmd =
   let limit =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"ROWS" ~doc:"Max rows to print.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
-    Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit)
+    Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
+          $ profile_t $ debug_t)
 
 (* -- memo -- *)
 

@@ -619,21 +619,30 @@ let rec eliminate_joins reg shell required t =
     let required' = Registry.Col_set.union required (local_refs t) in
     mk t.op (List.map (eliminate_joins reg shell required') t.children)
 
-(** Full normalization pipeline. *)
-let normalize ?(eliminate = true) (reg : Registry.t) (shell : Catalog.Shell_db.t)
-    (t : Relop.t) : Relop.t =
-  let t = fold_tree t in
-  let t = push t [] in
-  let t = close_region t in
-  let t = push t [] in            (* place newly derived predicates deeply *)
-  let t = transfer_semi t in
-  let t = push_semi_through_gb t in
-  let t = push t [] in
-  let t = fold_tree t in
-  let t = detect_contradictions t in
+(** Full normalization pipeline. Each rewrite pass that changes the tree
+    bumps its [normalize.rule.<name>] counter on [obs]. *)
+let normalize ?(obs = Obs.null) ?(eliminate = true) (reg : Registry.t)
+    (shell : Catalog.Shell_db.t) (t : Relop.t) : Relop.t =
+  let pass name f t =
+    let t' = f t in
+    if t' <> t then Obs.add obs ("normalize.rule." ^ name) 1;
+    t'
+  in
+  let t = pass "fold_constants" fold_tree t in
+  let t = pass "push_predicates" (fun t -> push t []) t in
+  let t = pass "derive_predicates" close_region t in
+  (* place newly derived predicates deeply *)
+  let t = pass "push_predicates" (fun t -> push t []) t in
+  let t = pass "transfer_semijoin" transfer_semi t in
+  let t = pass "semijoin_through_groupby" push_semi_through_gb t in
+  let t = pass "push_predicates" (fun t -> push t []) t in
+  let t = pass "fold_constants" fold_tree t in
+  let t = pass "detect_contradictions" detect_contradictions t in
   let t =
     if eliminate then
-      eliminate_joins reg shell (Registry.Col_set.of_list (output_cols t)) t
+      pass "eliminate_joins"
+        (eliminate_joins reg shell (Registry.Col_set.of_list (output_cols t)))
+        t
     else t
   in
   t

@@ -19,6 +19,8 @@
       print_endline (Opdw.explain r)
     ]} *)
 
+module Stage = Stage
+
 type options = {
   serial : Serialopt.Optimizer.options;
   pdw : Pdwopt.Enumerate.opts;
@@ -161,15 +163,67 @@ let collocated_seed (reg : Algebra.Registry.t) (shell : Catalog.Shell_db.t)
   in
   if !changed then Some rebuilt else None
 
-(** Run the full optimization pipeline on a SQL string. *)
-let optimize ?(options : options option) (shell : Catalog.Shell_db.t) (sql : string)
-  : result =
+(* -- the pipeline as explicit, uniformly typed stages (Fig. 2) --
+
+   Each stage is a [Stage.t]; running one opens an [Obs] span named after
+   the stage, so [explain --profile] (and the bench harness) see a uniform
+   per-stage span tree with the layer-specific counters reported inside. *)
+
+(** [parse]: SQL text -> AST (PDW parser). *)
+let parse_stage : (string, Sqlfront.Ast.query) Stage.t =
+  Stage.v ~name:"parse" (fun obs sql -> Sqlfront.Parser.parse ~obs sql)
+
+(** [algebrize]: AST -> named logical tree (binding against the shell). *)
+let algebrize_stage shell : (Sqlfront.Ast.query, Algebra.Algebrizer.result) Stage.t =
+  Stage.v ~name:"algebrize" (fun _obs q -> Algebra.Algebrizer.algebrize shell q)
+
+(** [normalize]: logical tree -> simplified logical tree (rule hit counts
+    reported per rewrite). *)
+let normalize_stage reg shell : (Algebra.Relop.t, Algebra.Relop.t) Stage.t =
+  Stage.v ~name:"normalize" (fun obs t -> Algebra.Normalize.normalize ~obs reg shell t)
+
+(** [serial]: logical tree -> explored MEMO + best serial plan. *)
+let serial_stage opts seeds reg shell
+  : (Algebra.Relop.t, Serialopt.Optimizer.result) Stage.t =
+  Stage.v ~name:"serial_optimize"
+    (fun obs t -> Serialopt.Optimizer.optimize ~obs ~opts ~seeds reg shell t)
+
+(** [memo_xml]: MEMO -> (XML encoding, re-imported MEMO) — the paper's
+    interchange between the SQL Server process and the PDW optimizer. *)
+let memo_xml_stage shell : (Memo.t, string option * Memo.t) Stage.t =
+  Stage.v ~name:"memo_xml" (fun obs m ->
+      let xml = Memo.Memo_xml.export_string ~obs m in
+      (Some xml, Memo.Memo_xml.import_string ~obs shell xml))
+
+(** [pdw]: imported MEMO -> distributed plan (Fig. 4, steps 01-09). *)
+let pdw_stage opts : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
+  Stage.v ~name:"pdw_optimize" (fun obs m -> Pdwopt.Optimizer.optimize ~obs ~opts m)
+
+(** [dsql]: distributed plan -> DSQL steps (Fig. 4, steps 10-11). *)
+let dsql_stage reg : (Pdwopt.Pplan.t, Dsql.Generate.plan) Stage.t =
+  Stage.v ~name:"dsql_generate" (fun obs p -> Dsql.Generate.generate ~obs reg p)
+
+(** [baseline]: best serial plan -> greedily parallelized plan (§3.2). *)
+let baseline_stage opts reg shell
+  : (Serialopt.Plan.t option, Pdwopt.Pplan.t option) Stage.t =
+  Stage.v ~name:"baseline_parallelize" (fun _obs best ->
+      match best with
+      | Some best ->
+        (try Some (Baseline.parallelize ~opts reg shell best)
+         with Baseline.Cannot_parallelize _ -> None)
+      | None -> None)
+
+(** Run the full optimization pipeline on a SQL string. Pass an enabled
+    [obs] context to collect the per-stage span tree and counters. *)
+let optimize ?(obs = Obs.null) ?(options : options option)
+    (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
     | Some o -> o
     | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
   in
-  let query = Sqlfront.Parser.parse sql in
+  Obs.with_span obs "pipeline" @@ fun () ->
+  let query = Stage.run obs parse_stage sql in
   (* §3.1 query hints adjust the optimization strategy *)
   let opts =
     let force_order =
@@ -191,9 +245,11 @@ let optimize ?(options : options option) (shell : Catalog.Shell_db.t) (sql : str
          else opts.serial);
       pdw = { opts.pdw with Pdwopt.Enumerate.hints = dist_hints } }
   in
-  let algebrized = Algebra.Algebrizer.algebrize shell query in
+  let algebrized = Stage.run obs (algebrize_stage shell) query in
   let reg = algebrized.Algebra.Algebrizer.reg in
-  let normalized = Algebra.Normalize.normalize reg shell algebrized.Algebra.Algebrizer.tree in
+  let normalized =
+    Stage.run obs (normalize_stage reg shell) algebrized.Algebra.Algebrizer.tree
+  in
   let seeds =
     if opts.seed_collocated then
       match collocated_seed reg shell normalized with
@@ -201,22 +257,17 @@ let optimize ?(options : options option) (shell : Catalog.Shell_db.t) (sql : str
       | None -> []
     else []
   in
-  let serial = Serialopt.Optimizer.optimize ~opts:opts.serial ~seeds reg shell normalized in
+  let serial = Stage.run obs (serial_stage opts.serial seeds reg shell) normalized in
   let memo_xml, memo =
-    if opts.via_xml then begin
-      let xml = Memo.Memo_xml.export_string serial.Serialopt.Optimizer.memo in
-      (Some xml, Memo.Memo_xml.import_string shell xml)
-    end
+    if opts.via_xml then
+      Stage.run obs (memo_xml_stage shell) serial.Serialopt.Optimizer.memo
     else (None, serial.Serialopt.Optimizer.memo)
   in
-  let pdw = Pdwopt.Optimizer.optimize ~opts:opts.pdw memo in
-  let dsql = Dsql.Generate.generate memo.Memo.reg pdw.Pdwopt.Optimizer.plan in
+  let pdw = Stage.run obs (pdw_stage opts.pdw) memo in
+  let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
   let baseline_plan =
-    match serial.Serialopt.Optimizer.best with
-    | Some best ->
-      (try Some (Baseline.parallelize ~opts:opts.baseline reg shell best)
-       with Baseline.Cannot_parallelize _ -> None)
-    | None -> None
+    Stage.run obs (baseline_stage opts.baseline reg shell)
+      serial.Serialopt.Optimizer.best
   in
   { query; algebrized; normalized; serial; memo_xml; memo; pdw; dsql; baseline_plan }
 
@@ -230,9 +281,16 @@ let explain (r : result) : string =
     (Pdwopt.Pplan.to_string reg (plan r))
     (Dsql.Generate.to_string r.dsql)
 
-(** Execute the chosen plan on an appliance; returns the client result. *)
-let run (app : Engine.Appliance.t) (r : result) : Engine.Local.rset =
-  Engine.Appliance.run_pplan app (plan r)
+(** Execute the chosen plan on an appliance; returns the client result.
+    When [obs] is given it is attached to the appliance for the duration,
+    so per-DMS-op and per-node executor counters land under an [execute]
+    span. *)
+let run ?(obs = Obs.null) (app : Engine.Appliance.t) (r : result) : Engine.Local.rset =
+  Engine.Appliance.set_obs app obs;
+  Fun.protect
+    ~finally:(fun () -> Engine.Appliance.set_obs app Obs.null)
+    (fun () ->
+       Obs.with_span obs "execute" (fun () -> Engine.Appliance.run_pplan app (plan r)))
 
 (** Execute the baseline (parallelized best serial) plan. *)
 let run_baseline (app : Engine.Appliance.t) (r : result) : Engine.Local.rset option =

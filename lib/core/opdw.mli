@@ -16,6 +16,9 @@
     {!Pdwopt} (the paper's contribution), {!Dsql} (DSQL generation),
     {!Engine} (the simulated appliance), {!Tpch} and {!Baseline}. *)
 
+(** The typed pipeline stage abstraction; see {!Stage}. *)
+module Stage = Stage
+
 (** Pipeline configuration. *)
 type options = {
   serial : Serialopt.Optimizer.options;
@@ -51,8 +54,13 @@ type result = {
 (** Run the full optimization pipeline on a SQL string against a shell
     database. Raises {!Sqlfront.Parser.Parse_error},
     {!Algebra.Algebrizer.Unsupported} / [Resolve_error], or
-    {!Pdwopt.Optimizer.No_plan} on invalid input. *)
-val optimize : ?options:options -> Catalog.Shell_db.t -> string -> result
+    {!Pdwopt.Optimizer.No_plan} on invalid input.
+
+    Pass an enabled [obs] context ({!Obs.create}) to collect a per-stage
+    span tree (parse, algebrize, normalize, serial_optimize, memo_xml,
+    pdw_optimize, dsql_generate, baseline_parallelize) with each stage's
+    counters; the default {!Obs.null} makes instrumentation free. *)
+val optimize : ?obs:Obs.t -> ?options:options -> Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
 val plan : result -> Pdwopt.Pplan.t
@@ -62,8 +70,10 @@ val plan : result -> Pdwopt.Pplan.t
 val explain : result -> string
 
 (** Execute the chosen plan on an appliance; returns the client result.
-    Byte/time accounting accumulates in the appliance's account. *)
-val run : Engine.Appliance.t -> result -> Engine.Local.rset
+    Byte/time accounting accumulates in the appliance's account; with
+    [obs], per-DMS-op and per-node executor counters are recorded under an
+    [execute] span. *)
+val run : ?obs:Obs.t -> Engine.Appliance.t -> result -> Engine.Local.rset
 
 (** Execute the parallelized-best-serial baseline plan, if one exists. *)
 val run_baseline : Engine.Appliance.t -> result -> Engine.Local.rset option

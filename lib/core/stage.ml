@@ -1,0 +1,14 @@
+type ('a, 'b) t = {
+  name : string;
+  body : Obs.t -> 'a -> 'b;
+}
+
+let v ~name body = { name; body }
+
+let name s = s.name
+
+let run obs s x = Obs.with_span obs s.name (fun () -> s.body obs x)
+
+let ( >>> ) a b =
+  { name = Printf.sprintf "%s>>>%s" a.name b.name;
+    body = (fun obs x -> run obs b (run obs a x)) }

@@ -1,0 +1,20 @@
+(** The pipeline stage abstraction (paper Fig. 2): a stage is a named,
+    typed transformation ['a -> 'b] that runs under an {!Obs} span, so the
+    end-to-end pipeline is an explicit composition of uniformly typed
+    pieces and every stage boundary reports wall-clock time plus its own
+    metrics into the shared context. *)
+
+type ('a, 'b) t
+
+(** [v ~name f] wraps [f] as a stage. [f] receives the observability
+    context (already scoped to the stage's span) and the stage input. *)
+val v : name:string -> (Obs.t -> 'a -> 'b) -> ('a, 'b) t
+
+val name : ('a, 'b) t -> string
+
+(** [run obs stage x] opens span [name stage] on [obs], runs the stage
+    body, and closes the span (also on exception). *)
+val run : Obs.t -> ('a, 'b) t -> 'a -> 'b
+
+(** [a >>> b] composes two stages; each still opens its own span. *)
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t

@@ -27,8 +27,9 @@ type plan = {
 let step_id = function Dms_step { id; _ } -> id | Return_step { id; _ } -> id
 
 (** Generate the DSQL plan for a parallel plan (bottom-up traversal: deepest
-    movements become the earliest steps, as in Fig. 7). *)
-let generate (reg : Registry.t) (p : Pdwopt.Pplan.t) : plan =
+    movements become the earliest steps, as in Fig. 7). Reports
+    [dsql.steps], [dsql.dms_steps], and [dsql.sql_bytes] into [obs]. *)
+let generate ?(obs = Obs.null) (reg : Registry.t) (p : Pdwopt.Pplan.t) : plan =
   let steps = ref [] in
   let temp_count = ref 0 in
   let temp_names : (Pdwopt.Pplan.t, string * (int * string) list) Hashtbl.t =
@@ -133,6 +134,18 @@ let generate (reg : Registry.t) (p : Pdwopt.Pplan.t) : plan =
      ctx.Sqlgen.alias_n <- 0;
      let rendered = Sqlgen.as_query ctx 1 p in
      steps := Return_step { id = List.length !steps; sql = rendered.Sqlgen.sql } :: !steps);
+  Obs.add obs "dsql.steps" (List.length !steps);
+  Obs.add obs "dsql.dms_steps"
+    (List.length (List.filter (function Dms_step _ -> true | _ -> false) !steps));
+  Obs.add obs "dsql.sql_bytes"
+    (List.fold_left
+       (fun a s ->
+          a
+          + String.length
+              (match s with
+               | Dms_step { source_sql; _ } -> source_sql
+               | Return_step { sql; _ } -> sql))
+       0 !steps);
   { steps = List.rev !steps; reg }
 
 (* -- formatting (paper Fig. 7 style) -- *)

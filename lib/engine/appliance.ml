@@ -69,13 +69,19 @@ type t = {
   (* per compute node: table name -> rows *)
   storage : (string, rows) Hashtbl.t array;
   account : account;
+  mutable obs : Obs.t;
+      (** observability context for per-DMS-op and executor counters;
+          [Obs.null] by default, swapped per-query via {!set_obs} *)
 }
 
-let create ?(hw = default_hw) (shell : Catalog.Shell_db.t) : t =
+let create ?(hw = default_hw) ?(obs = Obs.null) (shell : Catalog.Shell_db.t) : t =
   let nodes = Catalog.Shell_db.node_count shell in
   { shell; nodes; hw;
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
-    account = fresh_account () }
+    account = fresh_account (); obs }
+
+(** Attach an observability context (typically per executed query). *)
+let set_obs t obs = t.obs <- obs
 
 let reset_account t =
   let a = fresh_account () in
@@ -155,7 +161,7 @@ let target_time hw ~write_bytes ~write_rows =
 
 (* record calibration samples and advance the clock; per-node component
    volumes are summarized by their max (homogeneity assumption) *)
-let account_move t ~hashed ~per_node_read ~per_node_net ~per_node_write =
+let account_move t ~opname ~hashed ~per_node_read ~per_node_net ~per_node_write =
   let a = t.account in
   let hw = t.hw in
   (* max over nodes of max(read, net) = max(max reads, max nets), so the
@@ -184,6 +190,20 @@ let account_move t ~hashed ~per_node_read ~per_node_net ~per_node_write =
   a.sim_time <- a.sim_time +. step;
   a.dms_time <- a.dms_time +. step;
   a.moves <- a.moves + 1;
+  (* per-DMS-op volume per cost component (reader / network / writer) *)
+  if Obs.enabled t.obs then begin
+    let sum l = List.fold_left (fun (b, r) (b', r') -> (b +. b', r +. r')) (0., 0.) l in
+    let rbytes, _ = sum per_node_read in
+    let nbytes, nrows = sum per_node_net in
+    let wbytes, _ = sum per_node_write in
+    let c name v = Obs.addf t.obs (Printf.sprintf "engine.dms.%s.%s" opname name) v in
+    c "moves" 1.;
+    c "seconds" step;
+    c "reader.bytes" rbytes;
+    c "network.bytes" nbytes;
+    c "network.rows" nrows;
+    c "writer.bytes" wbytes
+  end;
   (* calibration samples (true component times vs bytes) *)
   List.iter
     (fun (rb, rr) ->
@@ -251,14 +271,14 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
            rows)
       sources;
     let out = Array.map List.rev parts in
-    account_move t ~hashed:true
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:true
       ~per_node_read:(List.map vol sources)
       ~per_node_net:(List.map vol sources)
       ~per_node_write:(Array.to_list (Array.map vol out));
     { layout = cols; per_node = out; control = []; dist = Dms.Distprop.Hashed hash_cols }
   | Dms.Op.Partition_move ->
     let all = List.concat (Array.to_list input.per_node) in
-    account_move t ~hashed:false
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:false
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:(Array.to_list (Array.map vol input.per_node))
       ~per_node_write:[ vol all ];
@@ -266,7 +286,7 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
       dist = Dms.Distprop.Single_node }
   | Dms.Op.Control_node_move | Dms.Op.Replicated_broadcast ->
     let rows = input.control in
-    account_move t ~hashed:false
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:false
       ~per_node_read:[ vol rows ]
       ~per_node_net:[ vol rows ]
       ~per_node_write:(List.init n (fun _ -> vol rows));
@@ -274,7 +294,7 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
       dist = Dms.Distprop.Replicated }
   | Dms.Op.Broadcast ->
     let all = List.concat (Array.to_list input.per_node) in
-    account_move t ~hashed:false
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:false
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:[ vol all ]
       ~per_node_write:(List.init n (fun _ -> vol all));
@@ -290,7 +310,7 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
                route_hash k mod n = i)
             (if Array.length input.per_node > 0 then input.per_node.(i) else []))
     in
-    account_move t ~hashed:true
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:true
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:[ zero ]
       ~per_node_write:(Array.to_list (Array.map vol out));
@@ -307,7 +327,7 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
       | Dms.Distprop.Replicated -> [ vol all ]
       | _ -> Array.to_list (Array.map vol input.per_node)
     in
-    account_move t ~hashed:false ~per_node_read:reads ~per_node_net:reads
+    account_move t ~opname:(Dms.Op.name kind) ~hashed:false ~per_node_read:reads ~per_node_net:reads
       ~per_node_write:[ vol all ];
     { layout = cols; per_node = Array.make n []; control = all;
       dist = Dms.Distprop.Single_node }
@@ -348,6 +368,10 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
         (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
     in
     t.account.sim_time <- t.account.sim_time +. step;
+    if Obs.enabled t.obs then begin
+      Obs.addf t.obs "engine.serial.node_seconds" step;
+      Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op)) step
+    end;
     { layout = r.Local.layout; per_node = Array.make t.nodes []; control = r.Local.rows;
       dist = Dms.Distprop.Single_node }
   end
@@ -371,6 +395,11 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
       if step > !max_step then max_step := step
     done;
     t.account.sim_time <- t.account.sim_time +. !max_step;
+    if Obs.enabled t.obs then begin
+      Obs.addf t.obs "engine.serial.node_seconds" !max_step;
+      Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op))
+        !max_step
+    end;
     let layout = outs.(0).Local.layout in
     { layout; per_node = Array.map (fun r -> r.Local.rows) outs; control = [];
       dist = Dms.Distprop.Hashed [] (* refined by caller *) }
@@ -396,7 +425,9 @@ let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
        let b = rows_bytes all and r = float_of_int (List.length all) in
        let step = (b *. t.hw.network_byte) +. (r *. t.hw.network_row) in
        t.account.sim_time <- t.account.sim_time +. step;
-       t.account.bytes_moved <- t.account.bytes_moved +. b);
+       t.account.bytes_moved <- t.account.bytes_moved +. b;
+       Obs.addf t.obs "engine.return.bytes" b;
+       Obs.addf t.obs "engine.return.rows" r);
     let rset = { Local.layout = child.layout; rows = all } in
     if sort = [] then
       (match limit with

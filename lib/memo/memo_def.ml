@@ -199,6 +199,12 @@ let total_exprs t =
   iter_groups t (fun g -> n := !n + List.length g.exprs);
   !n
 
+(** Groups that have not been merged away (what the XML export carries). *)
+let live_groups t =
+  let n = ref 0 in
+  iter_groups t (fun _ -> incr n);
+  !n
+
 let logical_exprs t gid =
   List.filter_map
     (fun e -> match e.op with Logical l -> Some (l, e.children) | Physical _ -> None)

@@ -368,7 +368,12 @@ let export (m : Memo_def.t) : Xml.node =
     ~children:(Xml.node ~children:!cols "columns" :: List.rev !groups)
     "memo"
 
-let export_string m = Xml.to_string (export m)
+let export_string ?(obs = Obs.null) m =
+  let s = Xml.to_string (export m) in
+  Obs.add obs "memo_xml.bytes" (String.length s);
+  Obs.add obs "memo_xml.export.groups" (Memo_def.live_groups m);
+  Obs.add obs "memo_xml.export.exprs" (Memo_def.total_exprs m);
+  s
 
 (** Rebuild a MEMO (and a fresh registry) from its XML encoding. Group ids
     are remapped densely; the logical properties are taken from the file,
@@ -443,4 +448,8 @@ let import (shell : Catalog.Shell_db.t) (n : Xml.node) : Memo_def.t =
   m.Memo_def.root <- remap (int_of_string (Xml.attr n "root"));
   m
 
-let import_string shell s = import shell (Xml.parse s)
+let import_string ?(obs = Obs.null) shell s =
+  let m = import shell (Xml.parse s) in
+  Obs.add obs "memo_xml.import.groups" (Memo_def.live_groups m);
+  Obs.add obs "memo_xml.import.exprs" (Memo_def.total_exprs m);
+  m

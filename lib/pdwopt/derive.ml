@@ -141,6 +141,14 @@ let derive (m : Memo.t) : t =
   done;
   t
 
+(** Size of the interesting-property map: (groups with at least one
+    interesting column list, total column lists). *)
+let interesting_size t =
+  Hashtbl.fold (fun _ lists (g, l) -> (g + 1, l + List.length lists)) t.interesting (0, 0)
+
+(** Number of groups with a derived required-column set. *)
+let required_size t = Hashtbl.length t.required
+
 (** Row width (bytes) of the columns a moved stream of group [gid] carries. *)
 let moved_width (m : Memo.t) t gid : float * int list =
   let req = Registry.Col_set.inter (required t gid) (Memo.props m gid).cols in

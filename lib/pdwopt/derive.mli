@@ -1,0 +1,33 @@
+(** Top-down property derivation over the imported MEMO (paper Fig. 4
+    step 04: "Derive interesting properties of groups (top-down)").
+
+    Two properties are derived per group:
+    - {b interesting columns} (§3.2): candidate hash-distribution column
+      lists — columns referenced in equality join predicates (they make
+      local and directed joins possible) and group-by columns (they allow
+      local aggregation without a local/global split);
+    - {b required columns}: the columns a group's output must physically
+      carry for the operators above it — this determines the row width [w]
+      of any data movement of that group's stream. *)
+
+type t
+
+(** Run the full derivation (fixpoint over the DAG). *)
+val derive : Memo.t -> t
+
+(** Candidate hash-distribution column lists of a group. *)
+val interesting : t -> int -> int list list
+
+(** Columns a group's output must carry for the operators above it. *)
+val required : t -> int -> Algebra.Registry.Col_set.t
+
+(** Size of the interesting-property map: (groups with at least one
+    interesting column list, total column lists). *)
+val interesting_size : t -> int * int
+
+(** Number of groups with a derived required-column set. *)
+val required_size : t -> int
+
+(** Row width (bytes) and column list a moved stream of group [gid]
+    carries. *)
+val moved_width : Memo.t -> t -> int -> float * int list

@@ -41,6 +41,8 @@ type stats = {
   mutable pdw_exprs_enumerated : int;  (** options considered (pre-pruning) *)
   mutable options_kept : int;
   mutable groups_processed : int;
+  mutable enforcer_moves : int;
+      (** Move expressions added by the enforcer step (Fig. 4, step 07) *)
 }
 
 type ctx = {
@@ -56,7 +58,11 @@ let create_ctx m derived o =
   { m; derived; o;
     table = Hashtbl.create 64;
     in_progress = Hashtbl.create 8;
-    stats = { pdw_exprs_enumerated = 0; options_kept = 0; groups_processed = 0 } }
+    stats = { pdw_exprs_enumerated = 0; options_kept = 0; groups_processed = 0;
+              enforcer_moves = 0 } }
+
+let options_table ctx = ctx.table
+let stats_of ctx = ctx.stats
 
 (* rows per node under the uniformity assumption *)
 let per_node o rows (d : Dms.Distprop.t) =
@@ -440,6 +446,7 @@ and enforcer_step ctx gid gprops acc =
                      Dms.Cost.cost ~lambdas:o.lambdas kind ~nodes:o.nodes
                        ~rows:src.Pplan.rows ~width
                    in
+                   ctx.stats.enforcer_moves <- ctx.stats.enforcer_moves + 1;
                    add_option ctx acc
                      { Pplan.op = Pplan.Move { kind; cols };
                        children = [ src ];

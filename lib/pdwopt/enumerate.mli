@@ -1,0 +1,56 @@
+(** Bottom-up enumeration of distributed plans over the imported MEMO
+    (paper Fig. 4, steps 05-07):
+
+    - step 06.i: for each group, enumerate PDW options by considering all
+      combinations of the child groups' kept options; a serial operator is
+      usable only when the child distributions make local execution correct
+      (collocated/directed/broadcast joins, local group-bys, and the
+      local-global aggregation split);
+    - step 06.ii: cost-based pruning — keep the best option per output
+      distribution (best overall plus best per interesting property);
+    - step 07: enforcer step — add data movement expressions producing each
+      interesting distribution, costed with the DMS cost model. *)
+
+type opts = {
+  nodes : int;
+  lambdas : Dms.Cost.lambdas;
+  serial_tiebreak : bool;
+      (** break DMS-cost ties with estimated per-node relational work *)
+  prune : bool;
+      (** interesting-property pruning (step 06.ii); off = keep every
+          enumerated option (ablation) *)
+  max_options_per_group : int;  (** safety cap when pruning is off *)
+  hints : (string * [ `Broadcast | `Shuffle ]) list;
+      (** paper §3.1 query hints: restrict a base table's kept options to
+          replicated ([`Broadcast]) or hash-partitioned ([`Shuffle]) *)
+}
+
+val default_opts : opts
+
+(** Enumeration counters, also surfaced as [pdw.*] {!Obs} counters by
+    {!Optimizer.optimize}. *)
+type stats = {
+  mutable pdw_exprs_enumerated : int;  (** options considered (pre-pruning) *)
+  mutable options_kept : int;
+  mutable groups_processed : int;
+  mutable enforcer_moves : int;
+      (** Move expressions added by the enforcer step (Fig. 4, step 07) *)
+}
+
+(** Enumeration state: the per-group kept-option table (the augmented MEMO
+    of Fig. 3c) plus counters. Opaque outside {!Optimizer}. *)
+type ctx
+
+val create_ctx : Memo.t -> Derive.t -> opts -> ctx
+
+(** The per-group kept options (augmented MEMO), for inspection. *)
+val options_table : ctx -> (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t
+
+val stats_of : ctx -> stats
+
+(** The pruning objective: DMS cost, with the per-node relational work as
+    an epsilon tie-break when [serial_tiebreak] is set. *)
+val total_cost : opts -> Pplan.t -> float
+
+(** Steps 05-07 for one group (memoized; recurses into children). *)
+val optimize_group : ctx -> int -> (Dms.Distprop.t * Pplan.t) list

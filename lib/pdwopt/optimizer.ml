@@ -77,8 +77,43 @@ let root_sort_limit (m : Memo.t) =
    rows sit on, so the Return contributes nothing to plan discrimination. *)
 let return_cost (_o : Enumerate.opts) (_p : Pplan.t) ~width = ignore width; 0.
 
+(* Report the PDW side's counters (Fig. 4 steps 04-09) into [obs]: the
+   enumeration/pruning balance, the enforcer's contribution, the size of
+   the interesting-property map, and the chosen plan's per-DMS-op modelled
+   movement volumes (rows x required width). *)
+let report_obs obs (ctx : Enumerate.ctx) (derived : Derive.t) (m : Memo.t)
+    (plan : Pplan.t) =
+  if Obs.enabled obs then begin
+    let s = Enumerate.stats_of ctx in
+    Obs.add obs "pdw.groups_processed" s.Enumerate.groups_processed;
+    Obs.add obs "pdw.exprs_enumerated" s.Enumerate.pdw_exprs_enumerated;
+    Obs.add obs "pdw.options_kept" s.Enumerate.options_kept;
+    Obs.add obs "pdw.exprs_pruned"
+      (s.Enumerate.pdw_exprs_enumerated - s.Enumerate.options_kept);
+    Obs.add obs "pdw.enforcer_moves" s.Enumerate.enforcer_moves;
+    let igroups, ilists = Derive.interesting_size derived in
+    Obs.add obs "pdw.interesting.groups" igroups;
+    Obs.add obs "pdw.interesting.col_lists" ilists;
+    Obs.add obs "pdw.required.groups" (Derive.required_size derived);
+    let rec walk (p : Pplan.t) =
+      (match p.Pplan.op with
+       | Pplan.Move { kind; cols } ->
+         let width =
+           List.fold_left (fun a c -> a +. Registry.width m.Memo.reg c) 0. cols
+         in
+         let nm = Dms.Op.name kind in
+         Obs.add obs (Printf.sprintf "pdw.move.%s.count" nm) 1;
+         Obs.addf obs (Printf.sprintf "pdw.move.%s.bytes_est" nm)
+           (p.Pplan.rows *. width);
+         Obs.addf obs (Printf.sprintf "pdw.move.%s.rows_est" nm) p.Pplan.rows
+       | Pplan.Serial _ | Pplan.Return _ -> ());
+      List.iter walk p.Pplan.children
+    in
+    walk plan
+  end
+
 (** Run steps 01-09 over an (imported) MEMO and return the chosen plan. *)
-let optimize ?(opts = Enumerate.default_opts) (m : Memo.t) : result =
+let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts) (m : Memo.t) : result =
   (* 02-03: preprocessing *)
   preprocess_merge m;
   (* 04: top-down property derivation *)
@@ -119,5 +154,6 @@ let optimize ?(opts = Enumerate.default_opts) (m : Memo.t) : result =
       dms_cost = best.Pplan.dms_cost +. return_cost opts best ~width;
       serial_cost = best.Pplan.serial_cost }
   in
-  { plan; options_at_root = options; options = ctx.Enumerate.table;
-    stats = ctx.Enumerate.stats; derived }
+  report_obs obs ctx derived m plan;
+  { plan; options_at_root = options; options = Enumerate.options_table ctx;
+    stats = Enumerate.stats_of ctx; derived }

@@ -1,0 +1,19 @@
+(** The PDW query optimizer pipeline (paper Fig. 4, steps 01-12; DSQL
+    generation, steps 10-11, lives in the {!Dsql} library). *)
+
+type result = {
+  plan : Pplan.t;                 (** the chosen distributed plan (with Return) *)
+  options_at_root : (Dms.Distprop.t * Pplan.t) list;
+  options : (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t;
+      (** kept options per group (the augmented MEMO of Fig. 3c) *)
+  stats : Enumerate.stats;
+  derived : Derive.t;
+}
+
+exception No_plan of string
+
+(** Run steps 01-09 over an (imported) MEMO and return the chosen plan.
+    With [obs], reports the [pdw.*] counters: groups processed, PDW exprs
+    enumerated vs. pruned, enforcer moves added, interesting-property map
+    sizes, and the chosen plan's per-DMS-op modelled movement volumes. *)
+val optimize : ?obs:Obs.t -> ?opts:Enumerate.opts -> Memo.t -> result

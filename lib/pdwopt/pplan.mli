@@ -1,0 +1,39 @@
+(** Parallel (distributed) execution plans: serial physical operators
+    composed with data movement operations, each node annotated with its
+    output distribution, cardinality, and cumulative costs. *)
+
+type pop =
+  | Serial of Memo.Physop.t
+      (** executed locally on every node holding a share of the input *)
+  | Move of { kind : Dms.Op.kind; cols : int list }
+      (** a DMS operation; [cols] is the projected column list physically
+          carried by the stream (and materialized into the temp table) *)
+  | Return of { sort : Algebra.Relop.sort_key list; limit : int option }
+      (** final gather: stream results to the client through the control
+          node, merging/sorting and applying TOP if required *)
+
+type t = {
+  op : pop;
+  children : t list;
+  dist : Dms.Distprop.t;     (** output distribution *)
+  rows : float;              (** estimated global output cardinality *)
+  group : int;               (** originating MEMO group (-1 if synthetic) *)
+  dms_cost : float;          (** cumulative DMS cost (paper's optimization metric) *)
+  serial_cost : float;       (** cumulative per-node relational work (tie-break) *)
+}
+
+val op_to_string : Algebra.Registry.t -> pop -> string
+val pp : Algebra.Registry.t -> Format.formatter -> t -> unit
+val to_string : Algebra.Registry.t -> t -> string
+
+(** Number of plan nodes. *)
+val size : t -> int
+
+(** Number of data movement operations in the plan. *)
+val move_count : t -> int
+
+(** All movement kinds in the plan, outside-in. *)
+val moves : t -> Dms.Op.kind list
+
+(** Output column layout in execution order. *)
+val output_layout : t -> int list

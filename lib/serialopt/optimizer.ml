@@ -288,8 +288,8 @@ let extract_best (m : Memo.t) : Plan.t option =
 (** Run the full serial optimization over a normalized logical tree.
     [seeds] are additional equivalent trees pre-inserted into the MEMO
     before exploration (the paper's §3.1 seeding hook). *)
-let optimize ?(opts = default_options) ?(seeds = []) (reg : Registry.t)
-    (shell : Catalog.Shell_db.t) (tree : Relop.t) : result =
+let optimize ?(obs = Obs.null) ?(opts = default_options) ?(seeds = [])
+    (reg : Registry.t) (shell : Catalog.Shell_db.t) (tree : Relop.t) : result =
   let m = Memo.of_tree reg shell tree in
   List.iter
     (fun s ->
@@ -301,4 +301,8 @@ let optimize ?(opts = default_options) ?(seeds = []) (reg : Registry.t)
   let tasks_used, budget_exhausted = explore m ~budget:opts.task_budget in
   implement m ~opts;
   let best = try extract_best m with Cycle -> None in
+  Obs.add obs "serial.memo.groups" (Memo.live_groups m);
+  Obs.add obs "serial.memo.exprs" (Memo.total_exprs m);
+  Obs.add obs "serial.tasks" tasks_used;
+  Obs.add obs "serial.budget_exhausted" (if budget_exhausted then 1 else 0);
   { memo = m; best; tasks_used; budget_exhausted }

@@ -428,9 +428,12 @@ and parse_primary st =
     else Col (None, name)
   | _ -> error st "expected expression"
 
-(** Parse a single SELECT statement. *)
-let parse (sql : string) : query =
+(** Parse a single SELECT statement. Token and byte counts are reported
+    into [obs] (counters [parse.tokens], [parse.sql_bytes]). *)
+let parse ?(obs = Obs.null) (sql : string) : query =
   let toks = Array.of_list (Lexer.tokenize sql) in
+  Obs.add obs "parse.tokens" (Array.length toks - 1) (* minus EOF *);
+  Obs.add obs "parse.sql_bytes" (String.length sql);
   let st = { toks; pos = 0 } in
   let q = parse_query st in
   ignore (accept st Lexer.SEMI);

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "opdw"
-    [ ("value", Test_value.suite);
+    [ ("obs", Test_obs.suite);
+      ("value", Test_value.suite);
       ("histogram", Test_histogram.suite);
       ("parser", Test_parser.suite);
       ("expr", Test_expr.suite);
