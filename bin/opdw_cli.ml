@@ -92,6 +92,23 @@ let budget_t =
   Arg.(value & opt int 20000
        & info [ "budget" ] ~docv:"TASKS" ~doc:"Serial exploration task budget (timeout).")
 
+let jobs_t =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domains executing per-node shards of each DSQL step in parallel \
+               (simulated times are unaffected). 0 = the machine's recommended \
+               domain count.")
+
+let no_cache_t =
+  Arg.(value & flag
+       & info [ "no-plan-cache" ]
+         ~doc:"Disable the plan cache (every query pays full serial + PDW optimization).")
+
+let make_pool jobs =
+  Par.create ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs) ()
+
+let make_cache no_cache = if no_cache then None else Some (Opdw.cache ())
+
 let profile_t =
   Arg.(value & flag
        & info [ "profile" ]
@@ -111,12 +128,12 @@ let options_of ~nodes ~seed ~budget =
 
 (* -- explain -- *)
 
-let explain nodes sf query sql file seed budget verbose profile debug =
+let explain nodes sf query sql file seed budget no_cache verbose profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
-  let r = Opdw.optimize ~obs ~options w.Opdw.Workload.shell text in
+  let r = Opdw.optimize ~obs ~options ?cache:(make_cache no_cache) w.Opdw.Workload.shell text in
   let reg = r.Opdw.memo.Memo.reg in
   if verbose then begin
     print_endline "== normalized logical tree ==";
@@ -140,20 +157,35 @@ let explain_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the logical tree and serial plan.")
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize a query and print its plans.")
-    Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ verbose
-          $ profile_t $ debug_t)
+    Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t
+          $ no_cache_t $ verbose $ profile_t $ debug_t)
 
 (* -- run -- *)
 
-let run nodes sf query sql file seed budget limit profile debug =
+let run nodes sf query sql file seed budget limit jobs no_cache repeat profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
-  let r = Opdw.optimize ~obs ~options w.Opdw.Workload.shell text in
+  let cache = make_cache no_cache in
+  let pool = make_pool jobs in
   let app = w.Opdw.Workload.app in
-  Engine.Appliance.reset_account app;
-  let res = Opdw.run ~obs app r in
+  Engine.Appliance.set_pool app pool;
+  let once () =
+    let r = Opdw.optimize ~obs ~options ?cache w.Opdw.Workload.shell text in
+    Engine.Appliance.reset_account app;
+    (r, Opdw.run ~obs app r)
+  in
+  let r, res = once () in
+  (* --repeat: re-optimize (through the cache) and re-execute; the extra
+     rounds exercise plan-cache hits and the multicore appliance *)
+  let r, res =
+    let rr = ref (r, res) in
+    for _ = 2 to max 1 repeat do rr := once () done;
+    !rr
+  in
+  let used_jobs = Par.jobs pool in
+  Par.shutdown pool;
   let names = List.map fst (Opdw.output_columns r) in
   print_endline (String.concat " | " names);
   List.iteri
@@ -170,15 +202,24 @@ let run nodes sf query sql file seed budget limit profile debug =
     "\n%d rows; %d DMS steps; %.0f bytes moved; simulated response time %.4gs (DMS %.4gs)\n"
     total a.Engine.Appliance.moves a.Engine.Appliance.bytes_moved
     a.Engine.Appliance.sim_time a.Engine.Appliance.dms_time;
+  if repeat > 1 then
+    Printf.printf "(%d rounds; execution used %d domains; plan cache %s)\n" repeat
+      used_jobs (if no_cache then "off" else "on");
   print_profile obs
 
 let run_cmd =
   let limit =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"ROWS" ~doc:"Max rows to print.")
   in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"K"
+           ~doc:"Optimize-and-execute the query K times (rounds after the first hit \
+                 the plan cache unless $(b,--no-plan-cache)).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
-          $ profile_t $ debug_t)
+          $ jobs_t $ no_cache_t $ repeat $ profile_t $ debug_t)
 
 (* -- memo -- *)
 

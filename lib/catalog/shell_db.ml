@@ -11,15 +11,21 @@ type table = {
 type t = {
   tables : (string, table) Hashtbl.t;
   node_count : int;  (** number of compute nodes in the appliance topology *)
+  mutable stats_version : int;
+      (** bumped on every catalog/statistics change; cached compilation
+          artifacts (e.g. the plan cache) key on it for invalidation *)
 }
 
-let create ~node_count = { tables = Hashtbl.create 16; node_count }
+let create ~node_count = { tables = Hashtbl.create 16; node_count; stats_version = 0 }
 
 let node_count t = t.node_count
+
+let stats_version t = t.stats_version
 
 let add_table t ?(stats = Tbl_stats.make ()) schema dist =
   let tbl = { schema; dist; stats } in
   Hashtbl.replace t.tables (String.lowercase_ascii schema.Schema.name) tbl;
+  t.stats_version <- t.stats_version + 1;
   tbl
 
 let find t name = Hashtbl.find_opt t.tables (String.lowercase_ascii name)
@@ -31,7 +37,9 @@ let find_exn t name =
 
 let set_stats t name stats =
   match find t name with
-  | Some tbl -> tbl.stats <- stats
+  | Some tbl ->
+    tbl.stats <- stats;
+    t.stats_version <- t.stats_version + 1
   | None -> invalid_arg (Printf.sprintf "Shell_db.set_stats: unknown table %s" name)
 
 let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []

@@ -20,6 +20,7 @@
     ]} *)
 
 module Stage = Stage
+module Plancache = Plancache
 
 type options = {
   serial : Serialopt.Optimizer.options;
@@ -51,6 +52,23 @@ type result = {
   dsql : Dsql.Generate.plan;
   baseline_plan : Pdwopt.Pplan.t option;  (** parallelized best serial plan *)
 }
+
+(** Everything downstream of normalization — the unit the plan cache
+    memoizes. Registry column ids are deterministic for a given SQL text
+    and shell, so a fingerprint hit may splice a previously compiled tail
+    under a freshly parsed front half. *)
+type compiled_tail = {
+  c_serial : Serialopt.Optimizer.result;
+  c_memo_xml : string option;
+  c_memo : Memo.t;
+  c_pdw : Pdwopt.Optimizer.result;
+  c_dsql : Dsql.Generate.plan;
+  c_baseline : Pdwopt.Pplan.t option;
+}
+
+type cache = compiled_tail Plancache.t
+
+let cache ?capacity () : cache = Plancache.create ?capacity ()
 
 (* §3.1 seeding: produce an alternative join tree that prefers collocated
    joins first (tables hash-partitioned compatibly joined before others).
@@ -214,8 +232,9 @@ let baseline_stage opts reg shell
       | None -> None)
 
 (** Run the full optimization pipeline on a SQL string. Pass an enabled
-    [obs] context to collect the per-stage span tree and counters. *)
-let optimize ?(obs = Obs.null) ?(options : options option)
+    [obs] context to collect the per-stage span tree and counters; pass a
+    [cache] to skip serial + PDW optimization on repeated queries. *)
+let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
     (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
@@ -250,26 +269,54 @@ let optimize ?(obs = Obs.null) ?(options : options option)
   let normalized =
     Stage.run obs (normalize_stage reg shell) algebrized.Algebra.Algebrizer.tree
   in
-  let seeds =
-    if opts.seed_collocated then
-      match collocated_seed reg shell normalized with
-      | Some s -> [ s ]
-      | None -> []
-    else []
+  (* everything below normalization is a pure function of (normalized tree,
+     knobs, statistics) — exactly what the plan-cache fingerprint keys on *)
+  let compile_tail () : compiled_tail =
+    let seeds =
+      if opts.seed_collocated then
+        match collocated_seed reg shell normalized with
+        | Some s -> [ s ]
+        | None -> []
+      else []
+    in
+    let serial = Stage.run obs (serial_stage opts.serial seeds reg shell) normalized in
+    let memo_xml, memo =
+      if opts.via_xml then
+        Stage.run obs (memo_xml_stage shell) serial.Serialopt.Optimizer.memo
+      else (None, serial.Serialopt.Optimizer.memo)
+    in
+    let pdw = Stage.run obs (pdw_stage opts.pdw) memo in
+    let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
+    let baseline_plan =
+      Stage.run obs (baseline_stage opts.baseline reg shell)
+        serial.Serialopt.Optimizer.best
+    in
+    { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo; c_pdw = pdw;
+      c_dsql = dsql; c_baseline = baseline_plan }
   in
-  let serial = Stage.run obs (serial_stage opts.serial seeds reg shell) normalized in
-  let memo_xml, memo =
-    if opts.via_xml then
-      Stage.run obs (memo_xml_stage shell) serial.Serialopt.Optimizer.memo
-    else (None, serial.Serialopt.Optimizer.memo)
+  let tail =
+    match cache with
+    | None -> compile_tail ()
+    | Some c ->
+      let fp =
+        Obs.with_span obs "plancache" @@ fun () ->
+        Plancache.fingerprint ~shell ~serial:opts.serial ~pdw:opts.pdw
+          ~baseline:opts.baseline ~via_xml:opts.via_xml
+          ~seed_collocated:opts.seed_collocated normalized
+      in
+      (match Plancache.find c fp with
+       | Some tail ->
+         Obs.add obs "plancache.hit" 1;
+         tail
+       | None ->
+         Obs.add obs "plancache.miss" 1;
+         let tail = compile_tail () in
+         if Plancache.add c fp tail then Obs.add obs "plancache.evict" 1;
+         tail)
   in
-  let pdw = Stage.run obs (pdw_stage opts.pdw) memo in
-  let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
-  let baseline_plan =
-    Stage.run obs (baseline_stage opts.baseline reg shell)
-      serial.Serialopt.Optimizer.best
-  in
-  { query; algebrized; normalized; serial; memo_xml; memo; pdw; dsql; baseline_plan }
+  { query; algebrized; normalized; serial = tail.c_serial;
+    memo_xml = tail.c_memo_xml; memo = tail.c_memo; pdw = tail.c_pdw;
+    dsql = tail.c_dsql; baseline_plan = tail.c_baseline }
 
 (** The chosen distributed plan. *)
 let plan r = r.pdw.Pdwopt.Optimizer.plan

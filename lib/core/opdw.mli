@@ -19,6 +19,9 @@
 (** The typed pipeline stage abstraction; see {!Stage}. *)
 module Stage = Stage
 
+(** The bounded LRU plan cache and its fingerprinting; see {!Plancache}. *)
+module Plancache = Plancache
+
 (** Pipeline configuration. *)
 type options = {
   serial : Serialopt.Optimizer.options;
@@ -51,6 +54,28 @@ type result = {
       (** the §3.2 strawman: the best serial plan, parallelized greedily *)
 }
 
+(** The compiled pipeline tail a plan-cache entry memoizes: everything
+    downstream of normalization (serial MEMO, interchange XML, PDW result,
+    DSQL plan, baseline plan). *)
+type compiled_tail = {
+  c_serial : Serialopt.Optimizer.result;
+  c_memo_xml : string option;
+  c_memo : Memo.t;
+  c_pdw : Pdwopt.Optimizer.result;
+  c_dsql : Dsql.Generate.plan;
+  c_baseline : Pdwopt.Pplan.t option;
+}
+
+(** A plan cache usable across queries (and across domains — operations
+    are mutex-guarded). Keyed by {!Plancache.fingerprint}: the canonical
+    normalized tree plus node count, option knobs, hints, λ constants and
+    the shell's statistics version. *)
+type cache = compiled_tail Plancache.t
+
+(** [cache ()] builds an empty plan cache (default capacity 128 entries,
+    LRU eviction). *)
+val cache : ?capacity:int -> unit -> cache
+
 (** Run the full optimization pipeline on a SQL string against a shell
     database. Raises {!Sqlfront.Parser.Parse_error},
     {!Algebra.Algebrizer.Unsupported} / [Resolve_error], or
@@ -59,8 +84,15 @@ type result = {
     Pass an enabled [obs] context ({!Obs.create}) to collect a per-stage
     span tree (parse, algebrize, normalize, serial_optimize, memo_xml,
     pdw_optimize, dsql_generate, baseline_parallelize) with each stage's
-    counters; the default {!Obs.null} makes instrumentation free. *)
-val optimize : ?obs:Obs.t -> ?options:options -> Catalog.Shell_db.t -> string -> result
+    counters; the default {!Obs.null} makes instrumentation free.
+
+    Pass a [cache] to memoize the compiled tail: a fingerprint hit skips
+    serial exploration, the XML interchange, PDW enumeration, DSQL
+    generation and baseline parallelization, returning the previously
+    compiled plans. Reports [plancache.hit] / [plancache.miss] /
+    [plancache.evict] counters into [obs]. *)
+val optimize :
+  ?obs:Obs.t -> ?options:options -> ?cache:cache -> Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
 val plan : result -> Pdwopt.Pplan.t

@@ -72,16 +72,27 @@ type t = {
   mutable obs : Obs.t;
       (** observability context for per-DMS-op and executor counters;
           [Obs.null] by default, swapped per-query via {!set_obs} *)
+  mutable pool : Par.t;
+      (** domain pool executing per-compute-node shards of each serial
+          step concurrently (the paper's "each DSQL step runs on all N
+          nodes in parallel", §2.1/§2.4); {!Par.sequential} by default.
+          The simulated clock is unaffected: per-node times are combined
+          with the same max/sum rules either way. *)
 }
 
-let create ?(hw = default_hw) ?(obs = Obs.null) (shell : Catalog.Shell_db.t) : t =
+let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
+    (shell : Catalog.Shell_db.t) : t =
   let nodes = Catalog.Shell_db.node_count shell in
   { shell; nodes; hw;
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
-    account = fresh_account (); obs }
+    account = fresh_account (); obs; pool }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
+
+(** Attach a domain pool for multicore shard execution (typically one pool
+    per process, shared across appliances). *)
+let set_pool t pool = t.pool <- pool
 
 let reset_account t =
   let a = fresh_account () in
@@ -376,25 +387,37 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
       dist = Dms.Distprop.Single_node }
   end
   else begin
-    let outs = Array.make t.nodes { Local.layout = []; rows = [] } in
+    (* every node executes its shard concurrently on the domain pool; the
+       bodies only read shared state (storage, children) and write their
+       own result slot, so the fan-out is race-free and [outs] / [steps]
+       come back in node order — the simulated clock below is bit-identical
+       to the sequential walk *)
+    let node_results =
+      Par.parallel_map t.pool
+        (fun node ->
+           let csets =
+             List.map
+               (fun c -> { Local.layout = c.layout;
+                           rows = (if Array.length c.per_node > 0 then c.per_node.(node) else []) })
+               children
+           in
+           let r = Local.exec_op ~read_table:(fun name -> node_table t node name) op csets in
+           let step =
+             serial_step_time t op
+               (float_of_int (List.length r.Local.rows))
+               (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
+           in
+           (r, step))
+        (Array.init t.nodes Fun.id)
+    in
+    let outs = Array.map fst node_results in
     let max_step = ref 0. in
-    for node = 0 to t.nodes - 1 do
-      let csets =
-        List.map
-          (fun c -> { Local.layout = c.layout;
-                      rows = (if Array.length c.per_node > 0 then c.per_node.(node) else []) })
-          children
-      in
-      let r = Local.exec_op ~read_table:(fun name -> node_table t node name) op csets in
-      outs.(node) <- r;
-      let step =
-        serial_step_time t op
-          (float_of_int (List.length r.Local.rows))
-          (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
-      in
-      if step > !max_step then max_step := step
-    done;
+    Array.iter (fun (_, step) -> if step > !max_step then max_step := step) node_results;
     t.account.sim_time <- t.account.sim_time +. !max_step;
+    if Obs.enabled t.obs then begin
+      Obs.add t.obs "par.tasks" t.nodes;
+      Obs.set t.obs "par.jobs" (float_of_int (Par.jobs t.pool))
+    end;
     if Obs.enabled t.obs then begin
       Obs.addf t.obs "engine.serial.node_seconds" !max_step;
       Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op))

@@ -1,0 +1,123 @@
+(* Fixed domain pool. Workers block on a condition variable waiting for
+   "help requests"; a fan-out pushes one help request per free worker and
+   then drains the iteration space itself, so the caller is always one of
+   the executing domains and progress never depends on a worker being
+   available. *)
+
+type t = {
+  requested_jobs : int;
+  queue : (unit -> unit) Queue.t; (* pending help requests *)
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  tasks : int Atomic.t; (* loop bodies executed, lifetime total *)
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.qm;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.qc t.qm
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qm (* stopped *)
+  else begin
+    let help = Queue.pop t.queue in
+    Mutex.unlock t.qm;
+    (* help requests never raise: exceptions are captured per fan-out *)
+    help ();
+    worker_loop t
+  end
+
+let create ~jobs () =
+  let t =
+    { requested_jobs = max 1 jobs; queue = Queue.create (); qm = Mutex.create ();
+      qc = Condition.create (); stopped = false; workers = []; tasks = Atomic.make 0 }
+  in
+  if t.requested_jobs > 1 then
+    t.workers <-
+      List.init (t.requested_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let sequential = create ~jobs:1 ()
+
+let jobs t = if t.workers = [] then 1 else 1 + List.length t.workers
+
+let tasks_run t = Atomic.get t.tasks
+
+let shutdown t =
+  let ws = t.workers in
+  t.workers <- [];
+  if ws <> [] then begin
+    Mutex.lock t.qm;
+    t.stopped <- true;
+    Condition.broadcast t.qc;
+    Mutex.unlock t.qm;
+    List.iter Domain.join ws
+  end
+
+let sequential_for t n body =
+  for i = 0 to n - 1 do
+    body i;
+    Atomic.incr t.tasks
+  done
+
+let parallel_for t n body =
+  if n <= 0 then ()
+  else if t.workers = [] || n = 1 then sequential_for t n body
+  else begin
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    let failed = Atomic.make None in
+    let fm = Mutex.create () and fc = Condition.create () in
+    let finish_one () =
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock fm;
+        Condition.broadcast fc;
+        Mutex.unlock fm
+      end
+    in
+    (* claim indices until the space is exhausted; on failure, fail fast by
+       claiming (and skipping) the rest so [remaining] still reaches 0 *)
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match Atomic.get failed with
+         | Some _ -> ()
+         | None ->
+           (try
+              body i;
+              Atomic.incr t.tasks
+            with e -> ignore (Atomic.compare_and_set failed None (Some e))));
+        finish_one ();
+        drain ()
+      end
+    in
+    let helpers = min (List.length t.workers) (n - 1) in
+    Mutex.lock t.qm;
+    for _ = 1 to helpers do
+      Queue.push drain t.queue
+    done;
+    Condition.broadcast t.qc;
+    Mutex.unlock t.qm;
+    drain ();
+    (* helpers may still be inside their last body *)
+    Mutex.lock fm;
+    while Atomic.get remaining > 0 do
+      Condition.wait fc fm
+    done;
+    Mutex.unlock fm;
+    match Atomic.get failed with Some e -> raise e | None -> ()
+  end
+
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_iter t f arr = parallel_for t (Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,57 @@
+(** A minimal, dependency-free parallel runtime over OCaml 5 domains: a
+    fixed pool of worker domains plus work-stealing-free fan-out with
+    deterministic result order.
+
+    Design constraints (see DESIGN.md "Parallel runtime & plan cache"):
+
+    - {b fixed pool}: domains are spawned once at {!create} and reused for
+      every {!parallel_for} / {!parallel_map}, so per-call overhead is a
+      queue push, not a domain spawn;
+    - {b caller participation}: the calling domain always executes loop
+      bodies itself, so a pool whose workers are busy (or a pool with
+      [jobs = 1]) still makes progress — nested or concurrent fan-outs
+      cannot deadlock;
+    - {b determinism}: results land at their input index; [parallel_map]
+      returns exactly what [Array.map] would, whatever the schedule;
+    - {b graceful fallback}: [jobs <= 1] spawns no domains and runs every
+      loop sequentially in the caller, bit-identical to a plain [for]. *)
+
+type t
+
+(** [create ~jobs ()] builds a pool that runs fan-outs on up to [jobs]
+    domains ([jobs - 1] spawned workers + the caller). [jobs <= 1] spawns
+    nothing and behaves sequentially. *)
+val create : jobs:int -> unit -> t
+
+(** A shared pool with [jobs = 1]: no domains, pure sequential execution.
+    The default for library consumers that were not handed a pool. *)
+val sequential : t
+
+(** The machine's recommended parallelism ({!Domain.recommended_domain_count}). *)
+val default_jobs : unit -> int
+
+(** Number of domains this pool uses (including the caller); >= 1. *)
+val jobs : t -> int
+
+(** Total loop bodies executed through this pool so far (sequential
+    fallback included) — the source of the [par.tasks] Obs counter. *)
+val tasks_run : t -> int
+
+(** [parallel_for t n body] runs [body i] for [i = 0 .. n-1], distributing
+    iterations over the pool. Returns when every body has finished. The
+    first exception raised by any body is re-raised in the caller (further
+    unstarted iterations are skipped). Bodies must only write to disjoint
+    state (e.g. slot [i] of a result array). *)
+val parallel_for : t -> int -> (int -> unit) -> unit
+
+(** [parallel_map t f arr] is [Array.map f arr] with [f] applications
+    distributed over the pool; element order is preserved. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_iter t f arr] is [Array.iter f arr] with no ordering
+    guarantee between elements ([f] must tolerate any interleaving). *)
+val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
+
+(** Stop the workers and join their domains. The pool degrades to
+    sequential execution afterwards (calls remain valid). Idempotent. *)
+val shutdown : t -> unit

@@ -40,12 +40,34 @@ let classify_join conjs =
 let nontrivial_conjuncts pred =
   List.filter (fun c -> not (is_true_pred c)) (Expr.conjuncts pred)
 
+(* Structural identity of a group expression, for the applied-rules set.
+   Hashing the expression (the old scheme) made a hash collision silently
+   skip a transformation and shrink the search space; this renders the
+   operator (constructor, join kind, predicate with explicit column ids)
+   and the canonical child group ids instead, so distinct expressions can
+   never alias. *)
+let gexpr_key (m : Memo.t) (e : gexpr) : string =
+  let col c = "#" ^ string_of_int c in
+  let op_s =
+    match e.op with
+    | Logical (Relop.Join { kind = _; pred } as l) ->
+      (* op_name spells the join kind (Join/CrossJoin/SemiJoin/...) *)
+      Printf.sprintf "%s(%s)" (Relop.op_name l) (Expr.to_string_with col pred)
+    | Logical (Relop.Select pred) ->
+      Printf.sprintf "Select(%s)" (Expr.to_string_with col pred)
+    | Logical l -> Relop.op_name l
+    | Physical p -> "phys:" ^ Memo.Physop.name p
+  in
+  Printf.sprintf "%s(%s)" op_s
+    (String.concat ","
+       (List.map (fun c -> string_of_int (Memo.find m c)) (Array.to_list e.children)))
+
 let explore (m : Memo.t) ~budget : int * bool =
   let tasks = ref 0 in
   let exhausted = ref false in
   let applied : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let key rule gid (e : gexpr) =
-    Printf.sprintf "%s/%d/%d" rule gid (Hashtbl.hash e)
+    Printf.sprintf "%s/%d/%s" rule gid (gexpr_key m e)
   in
   let try_rule rule gid e (f : unit -> unit) =
     let k = key rule gid e in

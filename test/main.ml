@@ -20,4 +20,6 @@ let () =
       ("union", Test_union.suite);
       ("hints", Test_hints.suite);
       ("e2e", Test_e2e.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("par", Test_par.suite);
+      ("plancache", Test_plancache.suite) ]

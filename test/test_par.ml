@@ -1,0 +1,85 @@
+(* The parallel runtime: parallel_map/iter must agree with the sequential
+   Array functions at every jobs setting, preserve element order, propagate
+   exceptions, and survive pool reuse and shutdown. *)
+
+let check_map_matches jobs () =
+  let pool = Par.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  List.iter
+    (fun n ->
+       let input = Array.init n (fun i -> i) in
+       let expected = Array.map (fun i -> i * i + 1) input in
+       let got = Par.parallel_map pool (fun i -> (i * i) + 1) input in
+       Alcotest.(check (array int))
+         (Printf.sprintf "jobs=%d n=%d" jobs n)
+         expected got)
+    [ 0; 1; 2; 7; 64; 1000 ]
+
+let test_iter_covers () =
+  let pool = Par.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  let n = 500 in
+  let seen = Array.make n 0 in
+  (* each slot written exactly once: distinct indices, no races on a slot *)
+  Par.parallel_iter pool (fun i -> seen.(i) <- seen.(i) + 1) (Array.init n Fun.id);
+  Alcotest.(check (array int)) "each index visited once" (Array.make n 1) seen
+
+let test_exception_propagates () =
+  let pool = Par.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  Alcotest.check_raises "body exception re-raised in caller"
+    (Failure "boom")
+    (fun () ->
+       ignore
+         (Par.parallel_map pool
+            (fun i -> if i = 13 then failwith "boom" else i)
+            (Array.init 64 Fun.id)));
+  (* the pool stays usable after a failed fan-out *)
+  let got = Par.parallel_map pool (fun i -> i + 1) (Array.init 16 Fun.id) in
+  Alcotest.(check (array int)) "pool usable after failure"
+    (Array.init 16 (fun i -> i + 1)) got
+
+let test_pool_reuse () =
+  let pool = Par.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  for round = 1 to 50 do
+    let got = Par.parallel_map pool (fun i -> i * round) (Array.init 32 Fun.id) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init 32 (fun i -> i * round))
+      got
+  done
+
+let test_sequential_pool () =
+  (* jobs <= 1 never spawns domains and still computes correctly *)
+  let got = Par.parallel_map Par.sequential (fun i -> i - 3) (Array.init 10 Fun.id) in
+  Alcotest.(check (array int)) "sequential pool"
+    (Array.init 10 (fun i -> i - 3)) got;
+  Alcotest.(check int) "sequential jobs" 1 (Par.jobs Par.sequential)
+
+let test_shutdown_degrades () =
+  let pool = Par.create ~jobs:4 () in
+  Par.shutdown pool;
+  (* after shutdown the pool degrades to caller-only execution *)
+  let got = Par.parallel_map pool (fun i -> i * 2) (Array.init 20 Fun.id) in
+  Alcotest.(check (array int)) "works after shutdown"
+    (Array.init 20 (fun i -> i * 2)) got;
+  Par.shutdown pool (* idempotent *)
+
+let test_tasks_counter () =
+  let pool = Par.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  let before = Par.tasks_run pool in
+  ignore (Par.parallel_map pool Fun.id (Array.init 25 Fun.id));
+  Alcotest.(check int) "tasks counted" (before + 25) (Par.tasks_run pool)
+
+let suite =
+  [ Alcotest.test_case "map matches sequential (jobs=1)" `Quick (check_map_matches 1);
+    Alcotest.test_case "map matches sequential (jobs=2)" `Quick (check_map_matches 2);
+    Alcotest.test_case "map matches sequential (jobs=4)" `Quick (check_map_matches 4);
+    Alcotest.test_case "iter covers every index once" `Quick test_iter_covers;
+    Alcotest.test_case "exceptions propagate; pool survives" `Quick test_exception_propagates;
+    Alcotest.test_case "pool reuse across many fan-outs" `Quick test_pool_reuse;
+    Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+    Alcotest.test_case "shutdown degrades to sequential" `Quick test_shutdown_degrades;
+    Alcotest.test_case "tasks_run counter" `Quick test_tasks_counter ]

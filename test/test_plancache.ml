@@ -1,0 +1,165 @@
+(* The plan cache: LRU mechanics, fingerprint sensitivity (statistics
+   version, knobs, hints, topology), and the two end-to-end properties —
+   a cache hit returns plans structurally equal to a fresh optimization,
+   and the multicore appliance matches sequential execution exactly. *)
+
+let w = lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.001 ())
+
+(* -- LRU mechanics over a plain int cache -- *)
+
+let test_lru_eviction () =
+  let c = Opdw.Plancache.create ~capacity:2 () in
+  Alcotest.(check bool) "no evict on first add" false (Opdw.Plancache.add c "a" 1);
+  Alcotest.(check bool) "no evict on second add" false (Opdw.Plancache.add c "b" 2);
+  (* touching "a" makes "b" the LRU victim *)
+  Alcotest.(check (option int)) "a hits" (Some 1) (Opdw.Plancache.find c "a");
+  Alcotest.(check bool) "third add evicts" true (Opdw.Plancache.add c "c" 3);
+  Alcotest.(check (option int)) "b was evicted" None (Opdw.Plancache.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Opdw.Plancache.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Opdw.Plancache.find c "c");
+  let s = Opdw.Plancache.stats c in
+  Alcotest.(check int) "size" 2 s.Opdw.Plancache.size;
+  Alcotest.(check int) "hits" 3 s.Opdw.Plancache.hits;
+  Alcotest.(check int) "misses" 1 s.Opdw.Plancache.misses;
+  Alcotest.(check int) "evictions" 1 s.Opdw.Plancache.evictions;
+  Opdw.Plancache.clear c;
+  Alcotest.(check int) "cleared" 0 (Opdw.Plancache.stats c).Opdw.Plancache.size
+
+let test_add_refresh () =
+  let c = Opdw.Plancache.create ~capacity:2 () in
+  ignore (Opdw.Plancache.add c "a" 1);
+  Alcotest.(check bool) "re-add same key refreshes, no evict" false
+    (Opdw.Plancache.add c "a" 10);
+  Alcotest.(check (option int)) "value replaced" (Some 10) (Opdw.Plancache.find c "a");
+  Alcotest.(check int) "size still 1" 1 (Opdw.Plancache.stats c).Opdw.Plancache.size
+
+(* -- fingerprint sensitivity -- *)
+
+let fingerprint_of ?(serial = Serialopt.Optimizer.default_options)
+    ?(pdw = Pdwopt.Enumerate.default_opts) ?(baseline = Baseline.default_opts)
+    ?(via_xml = true) ?(seed_collocated = false) shell normalized =
+  Opdw.Plancache.fingerprint ~shell ~serial ~pdw ~baseline ~via_xml
+    ~seed_collocated normalized
+
+let test_fingerprint_sensitivity () =
+  let w = Lazy.force w in
+  let shell = w.Opdw.Workload.shell in
+  let r =
+    Opdw.optimize shell
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey"
+  in
+  let tree = r.Opdw.normalized in
+  let base = fingerprint_of shell tree in
+  Alcotest.(check string) "fingerprint is deterministic" base
+    (fingerprint_of shell tree);
+  let differs what fp = Alcotest.(check bool) what false (String.equal base fp) in
+  differs "node count re-keys"
+    (fingerprint_of
+       ~pdw:{ Pdwopt.Enumerate.default_opts with Pdwopt.Enumerate.nodes = 16 }
+       shell tree);
+  differs "hints re-key"
+    (fingerprint_of
+       ~pdw:{ Pdwopt.Enumerate.default_opts with
+              Pdwopt.Enumerate.hints = [ ("orders", `Broadcast) ] }
+       shell tree);
+  differs "serial task budget re-keys"
+    (fingerprint_of
+       ~serial:{ Serialopt.Optimizer.default_options with
+                 Serialopt.Optimizer.task_budget = 7 }
+       shell tree);
+  differs "lambda constants re-key"
+    (fingerprint_of
+       ~pdw:{ Pdwopt.Enumerate.default_opts with
+              Pdwopt.Enumerate.lambdas =
+                { Dms.Cost.default_lambdas with Dms.Cost.l_network = 1e-6 } }
+       shell tree);
+  differs "seeding flag re-keys" (fingerprint_of ~seed_collocated:true shell tree);
+  (* a statistics update bumps the shell's version and must miss *)
+  let tbl = Catalog.Shell_db.find_exn shell "orders" in
+  Catalog.Shell_db.set_stats shell "orders" tbl.Catalog.Shell_db.stats;
+  differs "stats version re-keys" (fingerprint_of shell tree);
+  (* a different query tree re-keys even with identical knobs *)
+  let r2 =
+    Opdw.optimize shell
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey AND c_acctbal > 1000"
+  in
+  differs "tree re-keys" (fingerprint_of shell r2.Opdw.normalized)
+
+let test_cache_hit_counters () =
+  let w = Lazy.force w in
+  let cache = Opdw.cache () in
+  let sql = "SELECT c_nationkey, COUNT(*) AS c FROM customer GROUP BY c_nationkey" in
+  ignore (Opdw.optimize ~cache w.Opdw.Workload.shell sql);
+  ignore (Opdw.optimize ~cache w.Opdw.Workload.shell sql);
+  ignore (Opdw.optimize ~cache w.Opdw.Workload.shell sql);
+  let s = Opdw.Plancache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Opdw.Plancache.misses;
+  Alcotest.(check int) "two hits" 2 s.Opdw.Plancache.hits
+
+(* -- property: a cache hit is indistinguishable from a fresh optimize -- *)
+
+let render (r : Opdw.result) =
+  let reg = r.Opdw.memo.Memo.reg in
+  let p = Opdw.plan r in
+  (Pdwopt.Pplan.to_string reg p,
+   Dms.Distprop.to_string reg p.Pdwopt.Pplan.dist,
+   Dsql.Generate.to_string r.Opdw.dsql)
+
+let prop_cache_hit_equals_fresh =
+  QCheck.Test.make ~name:"plan-cache hit == fresh optimization" ~count:20
+    Test_fuzz.arb_query
+    (fun q ->
+       let w = Lazy.force w in
+       let shell = w.Opdw.Workload.shell in
+       let cache = Opdw.cache () in
+       let cold = Opdw.optimize ~cache shell q.Test_fuzz.sql in
+       let hit = Opdw.optimize ~cache shell q.Test_fuzz.sql in
+       let fresh = Opdw.optimize shell q.Test_fuzz.sql in
+       let s = Opdw.Plancache.stats cache in
+       if s.Opdw.Plancache.hits <> 1 || s.Opdw.Plancache.misses <> 1 then
+         QCheck.Test.fail_report ("unexpected hit/miss counts: " ^ q.Test_fuzz.sql);
+       if render cold <> render hit then
+         QCheck.Test.fail_report ("hit differs from cold: " ^ q.Test_fuzz.sql);
+       if render hit <> render fresh then
+         QCheck.Test.fail_report ("hit differs from fresh: " ^ q.Test_fuzz.sql);
+       true)
+
+(* -- property: the multicore appliance matches sequential execution -- *)
+
+let prop_parallel_execution_identical =
+  QCheck.Test.make
+    ~name:"appliance jobs=4 == jobs=1 (rows, sim time, byte accounting)"
+    ~count:20 Test_fuzz.arb_query
+    (fun q ->
+       let w = Lazy.force w in
+       let app = w.Opdw.Workload.app in
+       let r = Opdw.optimize w.Opdw.Workload.shell q.Test_fuzz.sql in
+       let cols = List.map snd (Opdw.output_columns r) in
+       let run_with pool =
+         Engine.Appliance.set_pool app pool;
+         Engine.Appliance.reset_account app;
+         let res = Opdw.run app r in
+         let a = app.Engine.Appliance.account in
+         (Engine.Local.canonical ~cols res, a.Engine.Appliance.sim_time,
+          a.Engine.Appliance.bytes_moved, a.Engine.Appliance.rows_moved)
+       in
+       let seq = run_with Par.sequential in
+       let pool = Par.create ~jobs:4 () in
+       let par =
+         Fun.protect
+           ~finally:(fun () ->
+               Par.shutdown pool;
+               Engine.Appliance.set_pool app Par.sequential)
+           (fun () -> run_with pool)
+       in
+       if seq <> par then
+         QCheck.Test.fail_report ("parallel execution diverged: " ^ q.Test_fuzz.sql);
+       true)
+
+let suite =
+  [ Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "add refreshes existing key" `Quick test_add_refresh;
+    Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+    Alcotest.test_case "hit/miss counters" `Quick test_cache_hit_counters;
+    QCheck_alcotest.to_alcotest prop_cache_hit_equals_fresh;
+    QCheck_alcotest.to_alcotest prop_parallel_execution_identical ]
