@@ -774,6 +774,50 @@ let e13 () =
      appliance is large enough).\n"
 
 (* ------------------------------------------------------------------ *)
+(* E15: static plan-validity analyzer overhead (lib/check)             *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15" "Static plan-validity analyzer: pipeline overhead over the workload";
+  let w = workload ~nodes:8 ~sf:0.005 in
+  let options = Opdw.default_options ~node_count:8 in
+  ignore (optimize ~options w (query "Q1"));  (* warm up datagen + code paths *)
+  let reps = 3 in
+  let time check =
+    (* no plan cache, so every repetition pays the full pipeline (the
+       analyzer included when [check]) *)
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      List.iter
+        (fun q ->
+           ignore
+             (Opdw.optimize ~options ~check w.Opdw.Workload.shell
+                q.Tpch.Queries.sql))
+        Tpch.Queries.all
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  ignore (time true);  (* one throwaway round against jit/cache drift *)
+  let off = time false in
+  let on_ = time true in
+  let overhead = (on_ -. off) /. off in
+  let nq = List.length Tpch.Queries.all in
+  record "E15" "queries" (float_of_int nq);
+  record "E15" "rules" (float_of_int (List.length Check.rules));
+  record "E15" "optimize_nocheck_seconds" off;
+  record "E15" "optimize_check_seconds" on_;
+  record "E15" "overhead_fraction" overhead;
+  rowf "%d-query workload, %d rules, %d repetitions (plan cache off)\n" nq
+    (List.length Check.rules) reps;
+  rowf "  optimize, analyzer off:  %.4f s\n" off;
+  rowf "  optimize, analyzer on:   %.4f s\n" on_;
+  rowf "  overhead:                %.2f%% (budget: 5%%)\n" (100. *. overhead);
+  Printf.printf
+    "\nthe analyzer re-derives every distribution bottom-up and re-prices\n\
+     every movement, yet stays a small fraction of optimization itself -\n\
+     cheap enough to gate every compiled plan in production.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   e1 ();
@@ -789,7 +833,8 @@ let all () =
   e11 ();
   e12 ();
   e13 ();
-  e14 ()
+  e14 ();
+  e15 ()
 
 let by_id = function
   | "E1" -> e1 ()
@@ -806,4 +851,5 @@ let by_id = function
   | "E12" -> e12 ()
   | "E13" -> e13 ()
   | "E14" -> e14 ()
-  | id -> Printf.printf "unknown experiment %s (E1..E14)\n" id
+  | "E15" -> e15 ()
+  | id -> Printf.printf "unknown experiment %s (E1..E15)\n" id

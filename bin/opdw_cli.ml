@@ -109,6 +109,18 @@ let make_pool jobs =
 
 let make_cache no_cache = if no_cache then None else Some (Opdw.cache ())
 
+let check_t =
+  Arg.(value
+       & vflag true
+           [ (true,
+              info [ "check" ]
+                ~doc:"Run the static plan-validity analyzer over the chosen plan \
+                      and its DSQL steps (the default); an invalid plan aborts \
+                      with the violated rules.");
+             (false,
+              info [ "no-check" ]
+                ~doc:"Skip the static plan-validity analyzer.") ])
+
 let profile_t =
   Arg.(value & flag
        & info [ "profile" ]
@@ -128,12 +140,15 @@ let options_of ~nodes ~seed ~budget =
 
 (* -- explain -- *)
 
-let explain nodes sf query sql file seed budget no_cache verbose profile debug =
+let explain nodes sf query sql file seed budget no_cache check verbose profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
-  let r = Opdw.optimize ~obs ~options ?cache:(make_cache no_cache) w.Opdw.Workload.shell text in
+  let r =
+    Opdw.optimize ~obs ~options ?cache:(make_cache no_cache) ~check
+      w.Opdw.Workload.shell text
+  in
   let reg = r.Opdw.memo.Memo.reg in
   if verbose then begin
     print_endline "== normalized logical tree ==";
@@ -158,11 +173,11 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize a query and print its plans.")
     Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t
-          $ no_cache_t $ verbose $ profile_t $ debug_t)
+          $ no_cache_t $ check_t $ verbose $ profile_t $ debug_t)
 
 (* -- run -- *)
 
-let run nodes sf query sql file seed budget limit jobs no_cache repeat profile debug =
+let run nodes sf query sql file seed budget limit jobs no_cache check repeat profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
@@ -171,8 +186,9 @@ let run nodes sf query sql file seed budget limit jobs no_cache repeat profile d
   let pool = make_pool jobs in
   let app = w.Opdw.Workload.app in
   Engine.Appliance.set_pool app pool;
+  Engine.Appliance.set_check app check;
   let once () =
-    let r = Opdw.optimize ~obs ~options ?cache w.Opdw.Workload.shell text in
+    let r = Opdw.optimize ~obs ~options ?cache ~check w.Opdw.Workload.shell text in
     Engine.Appliance.reset_account app;
     (r, Opdw.run ~obs app r)
   in
@@ -219,7 +235,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
-          $ jobs_t $ no_cache_t $ repeat $ profile_t $ debug_t)
+          $ jobs_t $ no_cache_t $ check_t $ repeat $ profile_t $ debug_t)
 
 (* -- memo -- *)
 
@@ -237,6 +253,59 @@ let memo_cmd =
   Cmd.v (Cmd.info "memo" ~doc:"Dump the explored serial MEMO.")
     Term.(const memo $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ as_xml)
 
+(* -- check -- *)
+
+let check_queries nodes sf all query sql file seed budget =
+  let w = setup ~nodes ~sf in
+  let options = options_of ~nodes ~seed ~budget in
+  let targets =
+    if all then
+      List.map (fun q -> (q.Tpch.Queries.id, q.Tpch.Queries.sql)) Tpch.Queries.all
+    else
+      [ ((match query with Some id -> id | None -> "query"),
+         resolve_sql query sql file) ]
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun (id, text) ->
+       (* optimize without the built-in gate, then validate explicitly so a
+          violation is reported instead of raised *)
+       let r = Opdw.optimize ~options ~check:false w.Opdw.Workload.shell text in
+       let plan = Opdw.plan r in
+       let cost =
+         { Check.nodes = options.Opdw.pdw.Pdwopt.Enumerate.nodes;
+           lambdas = options.Opdw.pdw.Pdwopt.Enumerate.lambdas;
+           reg = r.Opdw.memo.Memo.reg }
+       in
+       match
+         Check.validate ~cost ~dsql:r.Opdw.dsql ~shell:w.Opdw.Workload.shell plan
+       with
+       | [] ->
+         Printf.printf "%-6s ok  (%d plan nodes, %d movements, %d DSQL steps)\n"
+           id (Pdwopt.Pplan.size plan) (Pdwopt.Pplan.move_count plan)
+           (Dsql.Generate.step_count r.Opdw.dsql)
+       | vs ->
+         incr failed;
+         Printf.printf "%-6s INVALID (%d violations)\n%s\n" id (List.length vs)
+           (Check.to_string vs))
+    targets;
+  let n = List.length targets in
+  Printf.printf "%d/%d plans valid (%d rules)\n" (n - !failed) n
+    (List.length Check.rules);
+  if !failed > 0 then exit 1
+
+let check_cmd =
+  let all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Validate every bundled workload query.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the static plan-validity analyzer (distribution, movement, \
+             cost, and DSQL invariants) over optimized plans.")
+    Term.(const check_queries $ nodes_t $ sf_t $ all $ query_t $ sql_t $ file_t
+          $ seed_t $ budget_t)
+
 (* -- queries -- *)
 
 let queries () =
@@ -251,8 +320,15 @@ let queries_cmd =
 let () =
   let doc = "the opdw distributed query optimizer (SQL Server PDW reproduction)" in
   let code =
-    try Cmd.eval ~catch:false (Cmd.group (Cmd.info "opdw_cli" ~doc) [ explain_cmd; run_cmd; memo_cmd; queries_cmd ])
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group (Cmd.info "opdw_cli" ~doc)
+           [ explain_cmd; run_cmd; memo_cmd; check_cmd; queries_cmd ])
     with
+    | Check.Invalid vs ->
+      Printf.eprintf "plan failed validation (%d violations):\n%s\n"
+        (List.length vs) (Check.to_string vs);
+      1
     | Sqlfront.Lexer.Lex_error (msg, pos) ->
       Printf.eprintf "SQL lexical error at offset %d: %s\n" pos msg; 1
     | Sqlfront.Parser.Parse_error msg ->

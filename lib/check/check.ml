@@ -1,0 +1,565 @@
+(* Static plan-validity analyzer. See check.mli for the rule catalog and
+   DESIGN.md §7 for the mapping to the paper's sections.
+
+   Everything here is re-derived from first principles: the only trusted
+   inputs are the plan's *structure*, the shell database (for base-table
+   partitioning) and, for R6, the DMS cost model parameters. Distribution
+   annotations, cost fields and the DSQL step list are exactly what is
+   being audited.
+
+   The distribution check is compositional: each node's declared [dist] is
+   verified against its children's *declared* distributions, with scans
+   anchored at the shell database. If every node passes, a simple induction
+   gives whole-plan soundness; if a node lies, the violation is reported at
+   that node instead of cascading up the tree. *)
+
+open Algebra
+
+type violation = { rule : string; message : string; subtree : string }
+
+exception Invalid of violation list
+
+type rule_info = { id : string; title : string; paper : string }
+
+let r0 = "R0.plan-shape"
+let r1 = "R1.dist-rederive"
+let r2 = "R2.dist-local-op"
+let r3 = "R3.move-applicability"
+let r4 = "R4.move-layout"
+let r5 = "R5.cost-monotone"
+let r6 = "R6.cost-reconstruct"
+let r7 = "R7.dsql-steps"
+let r8 = "R8.dsql-temp-defined"
+let r9 = "R9.dsql-schema"
+
+let rules =
+  [ { id = r0; title = "operator arities; Return only at the root";
+      paper = "§2.3 (plan structure)" };
+    { id = r1; title = "declared distribution equals the re-derived one";
+      paper = "§3.1/§3.3 (distribution properties)" };
+    { id = r2; title = "serial operators are locally executable (no missing enforcer)";
+      paper = "§3.1 (collocated joins, local group-bys), Fig. 4 step 07" };
+    { id = r3; title = "DMS op applies to its input and yields the declared dist";
+      paper = "§3.3.2 (the seven movement operations)" };
+    { id = r4; title = "moved columns exist in the child and carry the hash columns";
+      paper = "§2.4/§3.3.2 (tuple routing)" };
+    { id = r5; title = "finite, non-negative, bottom-up non-decreasing costs";
+      paper = "§3.3 (cost-based pruning soundness)" };
+    { id = r6; title = "per-move and root DMS costs match the cost model";
+      paper = "§3.3.1 (DMS cost model)" };
+    { id = r7; title = "DSQL step ids, unique temps, single trailing Return";
+      paper = "§2.4 (DSQL plan structure)" };
+    { id = r8; title = "temp tables are filled before they are read";
+      paper = "§2.4 (step sequencing)" };
+    { id = r9; title = "DSQL DMS steps mirror the plan's movements and schemas";
+      paper = "§2.4/Fig. 7 (plan-to-DSQL cut)" } ]
+
+type cost_model = { nodes : int; lambdas : Dms.Cost.lambdas; reg : Registry.t }
+
+let join_kind_name : Relop.join_kind -> string = function
+  | Relop.Inner -> "inner"
+  | Relop.Cross -> "cross"
+  | Relop.Semi -> "semi"
+  | Relop.Anti_semi -> "anti-semi"
+  | Relop.Left_outer -> "left-outer"
+
+(* -- rendering (registry-free: violations must print even for plans whose
+      registry is unavailable, e.g. inside the appliance) -- *)
+
+let ids cols = String.concat "," (List.map string_of_int cols)
+
+let op_label (op : Pdwopt.Pplan.pop) =
+  match op with
+  | Pdwopt.Pplan.Serial sop -> Memo.Physop.name sop
+  | Pdwopt.Pplan.Move { kind; cols } ->
+    Printf.sprintf "DMS %s[%s]" (Dms.Op.name kind) (ids cols)
+  | Pdwopt.Pplan.Return _ -> "Return"
+
+let subtree_string ?(max_depth = 4) (p : Pdwopt.Pplan.t) =
+  let b = Buffer.create 256 in
+  let rec go depth (n : Pdwopt.Pplan.t) =
+    Buffer.add_string b (String.make (2 * depth) ' ');
+    Buffer.add_string b
+      (Printf.sprintf "%s  {%s, rows=%.0f, dms=%.4g, serial=%.4g}\n"
+         (op_label n.Pdwopt.Pplan.op)
+         (Dms.Distprop.short_string n.Pdwopt.Pplan.dist)
+         n.Pdwopt.Pplan.rows n.Pdwopt.Pplan.dms_cost n.Pdwopt.Pplan.serial_cost);
+    if depth >= max_depth && n.Pdwopt.Pplan.children <> [] then
+      Buffer.add_string b (String.make (2 * (depth + 1)) ' ' ^ "...\n")
+    else List.iter (go (depth + 1)) n.Pdwopt.Pplan.children
+  in
+  go 0 p;
+  Buffer.contents b
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>[%s] %s@,%a@]" v.rule v.message
+    Format.pp_print_text v.subtree
+
+let to_string vs =
+  String.concat "\n"
+    (List.map
+       (fun v -> Printf.sprintf "[%s] %s\n%s" v.rule v.message v.subtree)
+       vs)
+
+(* -- shared derivation helpers (must agree with the producers:
+      Pdwopt.Enumerate and Baseline) -- *)
+
+(* base-table distribution from the shell database; unknown tables and
+   unprojected partition columns degrade to Hashed [] ("distributed,
+   unknown partitioning"), exactly as the producers do *)
+let scan_dist shell (table : string) (cols : int array) : Dms.Distprop.t =
+  match Catalog.Shell_db.find shell table with
+  | None -> Dms.Distprop.Hashed []
+  | Some tbl ->
+    (match tbl.Catalog.Shell_db.dist with
+     | Catalog.Distribution.Replicated -> Dms.Distprop.Replicated
+     | Catalog.Distribution.Hash_partitioned names ->
+       let schema = tbl.Catalog.Shell_db.schema in
+       let ids =
+         List.filter_map
+           (fun n ->
+              match Catalog.Schema.find_col schema n with
+              | Some i when i < Array.length cols -> Some cols.(i)
+              | _ -> None)
+           names
+       in
+       Dms.Distprop.Hashed ids)
+
+(* a projection renames hash-distribution columns it passes through *)
+let rename_dist defs (d : Dms.Distprop.t) =
+  match d with
+  | Dms.Distprop.Hashed cols when cols <> [] ->
+    let rename c =
+      match
+        List.find_map
+          (fun (out, e) ->
+             match e with Expr.Col c' when c' = c -> Some out | _ -> None)
+          defs
+      with
+      | Some out -> out
+      | None -> c
+    in
+    Dms.Distprop.Hashed (List.map rename cols)
+  | d -> d
+
+(* distribution of a union executed locally on each node (branch-wise
+   concatenation); [None] when per-node concatenation duplicates rows
+   (mixed replicated/distributed inputs) *)
+let union_dist (l : Dms.Distprop.t) (r : Dms.Distprop.t) : Dms.Distprop.t option =
+  match l, r with
+  | Dms.Distprop.Hashed lc, Dms.Distprop.Hashed rc when lc = rc && lc <> [] ->
+    Some (Dms.Distprop.Hashed lc)
+  | Dms.Distprop.Hashed _, Dms.Distprop.Hashed _ ->
+    (* distributed but unaligned (or unknown): correct node-wise, no usable
+       hash property survives *)
+    Some (Dms.Distprop.Hashed [])
+  | Dms.Distprop.Replicated, Dms.Distprop.Replicated -> Some Dms.Distprop.Replicated
+  | Dms.Distprop.Single_node, Dms.Distprop.Single_node -> Some Dms.Distprop.Single_node
+  | _ -> None
+
+let layout_of (p : Pdwopt.Pplan.t) : int list option =
+  try Some (Pdwopt.Pplan.output_layout p) with Invalid_argument _ -> None
+
+(* -- the tree walk (R0-R6) -- *)
+
+type ctx = {
+  shell : Catalog.Shell_db.t;
+  cost : cost_model option;
+  mutable acc : violation list;  (** collected in reverse *)
+  mutable recomputed : float;    (** sum of recomputed move costs (R6) *)
+  mutable recompute_ok : bool;   (** every per-move R6 check passed *)
+}
+
+let add ctx rule node fmt =
+  Printf.ksprintf
+    (fun message ->
+       ctx.acc <- { rule; message; subtree = subtree_string node } :: ctx.acc)
+    fmt
+
+let deq = Dms.Distprop.equal
+let dshort = Dms.Distprop.short_string
+
+(* R3 + R4 + R6: one Move node *)
+let check_move ctx (p : Pdwopt.Pplan.t) kind cols (c : Pdwopt.Pplan.t) =
+  (* R3: applicability and declared output distribution *)
+  (match Dms.Op.output_dist kind c.Pdwopt.Pplan.dist with
+   | None ->
+     add ctx r3 p "%s does not apply to an input distributed %s"
+       (Dms.Op.name kind) (dshort c.Pdwopt.Pplan.dist)
+   | Some d ->
+     if not (deq d p.Pdwopt.Pplan.dist) then
+       add ctx r3 p "%s over %s produces %s, but the plan declares %s"
+         (Dms.Op.name kind) (dshort c.Pdwopt.Pplan.dist) (dshort d)
+         (dshort p.Pdwopt.Pplan.dist));
+  (* R4: the moved projection *)
+  if cols = [] then add ctx r4 p "movement carries no columns";
+  (match layout_of c with
+   | None -> ()  (* the malformed child is reported by its own R0 *)
+   | Some lay ->
+     let missing = List.filter (fun x -> not (List.mem x lay)) cols in
+     if missing <> [] then
+       add ctx r4 p "moved columns [%s] are not produced by the child (layout [%s])"
+         (ids missing) (ids lay));
+  (match kind with
+   | Dms.Op.Shuffle h | Dms.Op.Trim h ->
+     if h = [] then
+       add ctx r4 p "%s has an empty hash column list" (Dms.Op.name kind)
+     else begin
+       let missing = List.filter (fun x -> not (List.mem x cols)) h in
+       if missing <> [] then
+         add ctx r4 p
+           "hash columns [%s] are not carried by the moved stream (cols [%s])"
+           (ids missing) (ids cols)
+     end
+   | _ -> ());
+  (* R6: the move's cost delta against the DMS cost model. The producers
+     disagree on whether the byte width is clamped to >= 1 (the enforcer
+     clamps, the aggregation split does not), so both readings pass. *)
+  match ctx.cost with
+  | None -> ()
+  | Some cm ->
+    let sum = List.fold_left (fun a x -> a +. Registry.width cm.reg x) 0. cols in
+    let expected width =
+      (Dms.Cost.cost ~lambdas:cm.lambdas kind ~nodes:cm.nodes
+         ~rows:c.Pdwopt.Pplan.rows ~width)
+        .Dms.Cost.c_total
+    in
+    let ea = expected sum and eb = expected (Float.max 1. sum) in
+    let delta = p.Pdwopt.Pplan.dms_cost -. c.Pdwopt.Pplan.dms_cost in
+    let tol v = (1e-6 *. Float.abs v) +. 1e-9 in
+    if
+      Float.abs (delta -. ea) <= tol ea || Float.abs (delta -. eb) <= tol eb
+    then ctx.recomputed <- ctx.recomputed +. delta
+    else begin
+      ctx.recompute_ok <- false;
+      add ctx r6 p
+        "movement cost delta %.6g differs from the DMS cost model's %.6g \
+         (%s, %.0f rows, width %.3g)"
+        delta eb (Dms.Op.name kind) c.Pdwopt.Pplan.rows (Float.max 1. sum)
+    end
+
+(* R0 + R1 + R2: one Serial node. [from_agg] carries the group-by keys of
+   an enclosing aggregate (propagated through Moves), legitimizing the
+   partial half of the local/global aggregation split, whose input is by
+   construction not co-located on the keys. *)
+let check_serial ctx ~from_agg (p : Pdwopt.Pplan.t) (sop : Memo.Physop.t)
+    (children : Pdwopt.Pplan.t list) =
+  let declared = p.Pdwopt.Pplan.dist in
+  let arity what n =
+    add ctx r0 p "%s expects %d child%s, has %d" what n
+      (if n = 1 then "" else "ren")
+      (List.length children)
+  in
+  match sop, children with
+  | Memo.Physop.Table_scan { table; cols; _ }, [] ->
+    let d = scan_dist ctx.shell table cols in
+    if not (deq declared d) then
+      add ctx r1 p "scan of %s is %s on the appliance, plan declares %s" table
+        (dshort d) (dshort declared)
+  | Memo.Physop.Table_scan _, _ -> arity "Table_scan" 0
+  | Memo.Physop.Const_empty _, [] -> ()  (* empty: any distribution holds *)
+  | Memo.Physop.Const_empty _, _ -> arity "Const_empty" 0
+  | (Memo.Physop.Filter _ | Memo.Physop.Sort_op _), [ c ] ->
+    if not (deq declared c.Pdwopt.Pplan.dist) then
+      add ctx r1 p "%s preserves its input distribution %s, plan declares %s"
+        (Memo.Physop.name sop) (dshort c.Pdwopt.Pplan.dist) (dshort declared)
+  | Memo.Physop.Compute defs, [ c ] ->
+    (* both the raw input distribution and its projection-renamed image are
+       true claims; the producers use either *)
+    let cd = c.Pdwopt.Pplan.dist in
+    let renamed = rename_dist defs cd in
+    if not (deq declared cd || deq declared renamed) then
+      add ctx r1 p "projection of a %s input can declare %s or %s, plan declares %s"
+        (dshort cd) (dshort cd) (dshort renamed) (dshort declared)
+  | ( Memo.Physop.Hash_join { kind; pred }
+    | Memo.Physop.Merge_join { kind; pred }
+    | Memo.Physop.Nl_join { kind; pred } ), [ l; r ] ->
+    (match layout_of l, layout_of r with
+     | Some ll, Some rl ->
+       let equi =
+         Memo.Physop.oriented_equi_pairs pred
+           ~left_cols:(Registry.Col_set.of_list ll)
+           ~right_cols:(Registry.Col_set.of_list rl)
+       in
+       (match
+          Dms.Distprop.join_local ~kind ~equi l.Pdwopt.Pplan.dist
+            r.Pdwopt.Pplan.dist
+        with
+        | None ->
+          add ctx r2 p
+            "%s join over %s x %s inputs is not locally executable; a data \
+             movement is missing"
+            (join_kind_name kind)
+            (dshort l.Pdwopt.Pplan.dist) (dshort r.Pdwopt.Pplan.dist)
+        | Some d ->
+          if not (deq declared d) then
+            add ctx r1 p "local join of %s x %s produces %s, plan declares %s"
+              (dshort l.Pdwopt.Pplan.dist) (dshort r.Pdwopt.Pplan.dist)
+              (dshort d) (dshort declared))
+     | _ -> ())
+  | (Memo.Physop.Hash_agg { keys; _ } | Memo.Physop.Stream_agg { keys; _ }), [ c ]
+    -> begin
+      match Dms.Distprop.groupby_local ~keys c.Pdwopt.Pplan.dist with
+      | Some d ->
+        if not (deq declared d) then
+          add ctx r1 p "local group-by over %s produces %s, plan declares %s"
+            (dshort c.Pdwopt.Pplan.dist) (dshort d) (dshort declared)
+      | None ->
+        (match from_agg with
+         | Some gkeys when gkeys = keys ->
+           (* the partial (local) half of a split: emits per-node partial
+              groups, so it passes the input distribution through; the
+              global half above re-derives normally *)
+           if not (deq declared c.Pdwopt.Pplan.dist) then
+             add ctx r1 p
+               "partial aggregate passes its input distribution %s through, \
+                plan declares %s"
+               (dshort c.Pdwopt.Pplan.dist) (dshort declared)
+         | _ ->
+           add ctx r2 p
+             "group-by on keys [%s] over a %s input is not local and no \
+              enclosing global aggregate re-groups it; a movement or \
+              local/global split is missing"
+             (ids keys) (dshort c.Pdwopt.Pplan.dist))
+    end
+  | Memo.Physop.Union_op, [ l; r ] ->
+    (match union_dist l.Pdwopt.Pplan.dist r.Pdwopt.Pplan.dist with
+     | None ->
+       add ctx r2 p
+         "union branches distributed %s / %s cannot be concatenated \
+          node-wise; an aligning movement is missing"
+         (dshort l.Pdwopt.Pplan.dist) (dshort r.Pdwopt.Pplan.dist)
+     | Some d ->
+       if not (deq declared d) then
+         add ctx r1 p "union of %s / %s produces %s, plan declares %s"
+           (dshort l.Pdwopt.Pplan.dist) (dshort r.Pdwopt.Pplan.dist)
+           (dshort d) (dshort declared))
+  | (Memo.Physop.Filter _ | Memo.Physop.Sort_op _ | Memo.Physop.Compute _), _ ->
+    arity (Memo.Physop.name sop) 1
+  | (Memo.Physop.Hash_agg _ | Memo.Physop.Stream_agg _), _ ->
+    arity (Memo.Physop.name sop) 1
+  | ( Memo.Physop.Hash_join _ | Memo.Physop.Merge_join _ | Memo.Physop.Nl_join _
+    | Memo.Physop.Union_op ), _ ->
+    arity (Memo.Physop.name sop) 2
+
+(* R5: finite, non-negative, bottom-up non-decreasing. Equality with the
+   children's sum is deliberately NOT required: post-optimization may
+   splice out identity movements without reknitting ancestor cumulatives. *)
+let check_costs ctx (p : Pdwopt.Pplan.t) =
+  let fin what v =
+    if not (Float.is_finite v) || v < 0. then
+      add ctx r5 p "%s is %g (must be finite and non-negative)" what v
+  in
+  fin "row estimate" p.Pdwopt.Pplan.rows;
+  fin "cumulative DMS cost" p.Pdwopt.Pplan.dms_cost;
+  fin "cumulative serial cost" p.Pdwopt.Pplan.serial_cost;
+  let tol v = (1e-6 *. Float.abs v) +. 1e-9 in
+  let cd =
+    List.fold_left (fun a (c : Pdwopt.Pplan.t) -> a +. c.Pdwopt.Pplan.dms_cost) 0.
+      p.Pdwopt.Pplan.children
+  in
+  if p.Pdwopt.Pplan.dms_cost < cd -. tol cd then
+    add ctx r5 p "cumulative DMS cost %.6g is below its children's %.6g"
+      p.Pdwopt.Pplan.dms_cost cd;
+  let cs =
+    List.fold_left
+      (fun a (c : Pdwopt.Pplan.t) -> a +. c.Pdwopt.Pplan.serial_cost)
+      0. p.Pdwopt.Pplan.children
+  in
+  if p.Pdwopt.Pplan.serial_cost < cs -. tol cs then
+    add ctx r5 p "cumulative serial cost %.6g is below its children's %.6g"
+      p.Pdwopt.Pplan.serial_cost cs
+
+let rec walk ctx ~root ~costs ~from_agg (p : Pdwopt.Pplan.t) =
+  (match p.Pdwopt.Pplan.op, p.Pdwopt.Pplan.children with
+   | Pdwopt.Pplan.Return _, [ _ ] ->
+     if not root then add ctx r0 p "Return operator below the plan root";
+     if not (deq p.Pdwopt.Pplan.dist Dms.Distprop.Single_node) then
+       add ctx r1 p "Return gathers to the control node (S), plan declares %s"
+         (dshort p.Pdwopt.Pplan.dist)
+   | Pdwopt.Pplan.Return _, _ ->
+     add ctx r0 p "Return expects 1 child, has %d"
+       (List.length p.Pdwopt.Pplan.children)
+   | Pdwopt.Pplan.Move { kind; cols }, [ c ] -> check_move ctx p kind cols c
+   | Pdwopt.Pplan.Move _, _ ->
+     add ctx r0 p "Move expects 1 child, has %d"
+       (List.length p.Pdwopt.Pplan.children)
+   | Pdwopt.Pplan.Serial sop, children -> check_serial ctx ~from_agg p sop children);
+  if costs then check_costs ctx p;
+  let child_flag =
+    match p.Pdwopt.Pplan.op with
+    | Pdwopt.Pplan.Serial
+        (Memo.Physop.Hash_agg { keys; _ } | Memo.Physop.Stream_agg { keys; _ }) ->
+      Some keys
+    | Pdwopt.Pplan.Move _ -> from_agg  (* forwarded through the split's Move *)
+    | _ -> None
+  in
+  List.iter
+    (walk ctx ~root:false ~costs ~from_agg:child_flag)
+    p.Pdwopt.Pplan.children
+
+let check_plan ~costs ~shell ~cost (p : Pdwopt.Pplan.t) : ctx =
+  let ctx = { shell; cost; acc = []; recomputed = 0.; recompute_ok = true } in
+  walk ctx ~root:true ~costs ~from_agg:None p;
+  (* R6 root reconciliation: the plan's total DMS cost is exactly the sum
+     of its movement costs (the Return contributes nothing, paper §2.3) *)
+  (match cost with
+   | Some _ when ctx.recompute_ok ->
+     let total = p.Pdwopt.Pplan.dms_cost in
+     let tol = (1e-6 *. Float.abs ctx.recomputed) +. 1e-9 in
+     if Float.abs (total -. ctx.recomputed) > tol then
+       add ctx r6 p
+         "root DMS cost %.6g differs from the sum of recomputed movement \
+          costs %.6g"
+         total ctx.recomputed
+   | _ -> ());
+  ctx
+
+(* -- DSQL rules (R7-R9) -- *)
+
+(* temp-table references in a SQL string: every TEMP_ID_<n> token *)
+let temp_refs sql =
+  let out = ref [] in
+  let n = String.length sql in
+  let pat = "TEMP_ID_" in
+  let plen = String.length pat in
+  let i = ref 0 in
+  while !i + plen <= n do
+    if String.sub sql !i plen = pat then begin
+      let j = ref (!i + plen) in
+      while !j < n && sql.[!j] >= '0' && sql.[!j] <= '9' do incr j done;
+      if !j > !i + plen then out := String.sub sql !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+(* the plan's Move nodes in DSQL emission order: bottom-up, skipping
+   structural duplicates exactly the way generation deduplicates them
+   into shared temp tables *)
+let collect_moves (p : Pdwopt.Pplan.t) : (Dms.Op.kind * int list) list =
+  let seen : (Pdwopt.Pplan.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go (n : Pdwopt.Pplan.t) =
+    List.iter go n.Pdwopt.Pplan.children;
+    match n.Pdwopt.Pplan.op with
+    | Pdwopt.Pplan.Move { kind; cols } when not (Hashtbl.mem seen n) ->
+      Hashtbl.replace seen n ();
+      acc := (kind, cols) :: !acc
+    | _ -> ()
+  in
+  (match p.Pdwopt.Pplan.op, p.Pdwopt.Pplan.children with
+   | Pdwopt.Pplan.Return _, [ c ] -> go c
+   | _ -> go p);
+  List.rev !acc
+
+let check_dsql acc (p : Pdwopt.Pplan.t) (d : Dsql.Generate.plan) =
+  let steps = d.Dsql.Generate.steps in
+  let v rule step fmt =
+    Printf.ksprintf
+      (fun message ->
+         let subtree =
+           match step with
+           | Some s -> Dsql.Generate.step_to_string d.Dsql.Generate.reg s
+           | None -> subtree_string p
+         in
+         acc := { rule; message; subtree } :: !acc)
+      fmt
+  in
+  (* R7: ids are 0..n-1 in execution order *)
+  List.iteri
+    (fun i s ->
+       let id = Dsql.Generate.step_id s in
+       if id <> i then
+         v r7 (Some s) "step at position %d carries id %d (want sequential ids)" i id)
+    steps;
+  (* R7: exactly one Return step, and it is last *)
+  let returns =
+    List.filter (function Dsql.Generate.Return_step _ -> true | _ -> false) steps
+  in
+  (match returns with
+   | [ _ ] ->
+     (match List.rev steps with
+      | Dsql.Generate.Return_step _ :: _ -> ()
+      | (Dsql.Generate.Dms_step _ as last) :: _ ->
+        v r7 (Some last) "the last step must be the Return step"
+      | [] -> ())
+   | [] -> v r7 None "no Return step"
+   | _ :: _ :: _ ->
+     v r7 None "%d Return steps (want exactly one)" (List.length returns));
+  (* R7: temp-table names are unique *)
+  let temps =
+    List.filter_map
+      (function
+        | Dsql.Generate.Dms_step { temp_table; _ } -> Some temp_table
+        | Dsql.Generate.Return_step _ -> None)
+      steps
+  in
+  if List.length temps <> List.length (List.sort_uniq compare temps) then
+    v r7 None "duplicate temp-table names: %s" (String.concat ", " temps);
+  (* R8: defined-before-use *)
+  ignore
+    (List.fold_left
+       (fun defined s ->
+          let sql, own =
+            match s with
+            | Dsql.Generate.Dms_step { source_sql; temp_table; _ } ->
+              (source_sql, Some temp_table)
+            | Dsql.Generate.Return_step { sql; _ } -> (sql, None)
+          in
+          List.iter
+            (fun t ->
+               if not (List.mem t defined) then
+                 v r8 (Some s) "references %s before any step fills it" t)
+            (temp_refs sql);
+          match own with Some t -> t :: defined | None -> defined)
+       [] steps);
+  (* R9: DMS steps mirror the plan's movements *)
+  let expected = collect_moves p in
+  let actual =
+    List.filter_map
+      (function
+        | Dsql.Generate.Dms_step { kind; cols; _ } as s -> Some (s, kind, cols)
+        | Dsql.Generate.Return_step _ -> None)
+      steps
+  in
+  if List.length expected <> List.length actual then
+    v r9 None "%d DMS steps for %d plan movements" (List.length actual)
+      (List.length expected)
+  else
+    List.iter2
+      (fun (ekind, ecols) (s, akind, acols) ->
+         if ekind <> akind then
+           v r9 (Some s) "step kind %s, plan movement is %s" (Dms.Op.name akind)
+             (Dms.Op.name ekind);
+         let aids = List.map fst acols in
+         if aids <> ecols then
+           v r9 (Some s) "temp-table schema covers columns [%s], movement \
+                          carries [%s]"
+             (ids aids) (ids ecols))
+      expected actual
+
+(* -- entry points -- *)
+
+let report obs ~rules_run vs =
+  Obs.add obs "check.rules_run" rules_run;
+  Obs.add obs "check.violations" (List.length vs)
+
+let validate ?(obs = Obs.null) ?cost ?dsql ~shell (p : Pdwopt.Pplan.t) :
+  violation list =
+  let ctx = check_plan ~costs:true ~shell ~cost p in
+  let acc = ref ctx.acc in
+  (match dsql with None -> () | Some d -> check_dsql acc p d);
+  let vs = List.rev !acc in
+  let rules_run =
+    6 + (if cost = None then 0 else 1) + if dsql = None then 0 else 3
+  in
+  report obs ~rules_run vs;
+  vs
+
+let validate_exec ?(obs = Obs.null) ~shell (p : Pdwopt.Pplan.t) : violation list =
+  let ctx = check_plan ~costs:false ~shell ~cost:None p in
+  let vs = List.rev ctx.acc in
+  report obs ~rules_run:5 vs;
+  vs

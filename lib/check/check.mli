@@ -1,0 +1,83 @@
+(** Static plan-validity analyzer.
+
+    Re-derives and verifies the invariants every distributed plan must
+    satisfy — the distribution-compatibility rules of paper §3, movement
+    applicability and layout consistency, cost-model accounting, and DSQL
+    step well-formedness — without trusting any annotation the optimizer
+    wrote. Violations carry the rule id, a human-readable message, and a
+    pretty-printed rendering of the offending subtree (or DSQL step).
+
+    The rule catalog (see DESIGN.md §7 for the paper mapping):
+
+    - [R0.plan-shape]: operator arities, Return only at the plan root.
+    - [R1.dist-rederive]: every node's declared [dist] equals the
+      distribution re-derived from its children's declared distributions
+      (scans anchored at the shell database's partitioning).
+    - [R2.dist-local-op]: a serial operator whose child distributions make
+      local execution incorrect — a missing enforcer movement (co-located
+      joins, replicated-left restrictions for semi/anti/outer joins, local
+      group-bys, aligned unions).
+    - [R3.move-applicability]: a DMS operation applies to its input
+      distribution and produces exactly the declared output distribution.
+    - [R4.move-layout]: the moved column set is produced by the child, is
+      non-empty, and carries the Shuffle/Trim hash columns.
+    - [R5.cost-monotone]: [rows], [dms_cost] and [serial_cost] are finite
+      and non-negative, and the cumulative costs are non-decreasing
+      bottom-up.
+    - [R6.cost-reconstruct] (needs a {!cost_model}): each Move's cost delta
+      and the root's total DMS cost equal the movement costs recomputed
+      from {!Dms.Cost}.
+    - [R7.dsql-steps]: step ids are [0..n-1] in execution order, temp-table
+      names are unique, and there is exactly one Return step, last.
+    - [R8.dsql-temp-defined]: every temp table referenced by a step's SQL
+      is filled by an earlier DMS step.
+    - [R9.dsql-schema]: the DSQL DMS steps correspond 1:1 (same order,
+      kinds, and column schemas) with the plan's Move nodes. *)
+
+type violation = {
+  rule : string;      (** rule id, e.g. ["R1.dist-rederive"] *)
+  message : string;   (** what is wrong, with the concrete values *)
+  subtree : string;   (** offending plan subtree (or DSQL step), rendered *)
+}
+
+exception Invalid of violation list
+
+type rule_info = {
+  id : string;
+  title : string;
+  paper : string;  (** the paper section the rule encodes *)
+}
+
+(** The full catalog, in rule-id order. *)
+val rules : rule_info list
+
+(** Inputs needed to recompute movement costs (rule R6). *)
+type cost_model = {
+  nodes : int;
+  lambdas : Dms.Cost.lambdas;
+  reg : Algebra.Registry.t;
+}
+
+(** [validate ?obs ?cost ?dsql ~shell plan] runs the whole catalog:
+    R0–R5 always, R6 when [cost] is given, R7–R9 when [dsql] is given.
+    Returns all violations (empty = valid). Reports [check.rules_run] and
+    [check.violations] into [obs]. *)
+val validate :
+  ?obs:Obs.t ->
+  ?cost:cost_model ->
+  ?dsql:Dsql.Generate.plan ->
+  shell:Catalog.Shell_db.t ->
+  Pdwopt.Pplan.t ->
+  violation list
+
+(** Execution-soundness subset (R0–R4): the rules whose violation means the
+    appliance would silently compute wrong rows. Cost and DSQL bookkeeping
+    are not needed to execute, so they are skipped — this is the gate
+    {!Engine.Appliance} applies to every plan it is handed. *)
+val validate_exec :
+  ?obs:Obs.t -> shell:Catalog.Shell_db.t -> Pdwopt.Pplan.t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** All violations, one block per violation, for error messages. *)
+val to_string : violation list -> string

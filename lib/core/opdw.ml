@@ -221,6 +221,23 @@ let pdw_stage opts : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
 let dsql_stage reg : (Pdwopt.Pplan.t, Dsql.Generate.plan) Stage.t =
   Stage.v ~name:"dsql_generate" (fun obs p -> Dsql.Generate.generate ~obs reg p)
 
+(** [check]: distributed plan + DSQL steps -> () or {!Check.Invalid}. The
+    static analyzer re-derives every invariant the optimizer is supposed
+    to have established (distribution soundness, movement applicability,
+    cost accounting, DSQL well-formedness) and refuses the plan on any
+    violation. *)
+let check_stage shell (pdw_opts : Pdwopt.Enumerate.opts) reg
+  : (Pdwopt.Pplan.t * Dsql.Generate.plan, unit) Stage.t =
+  Stage.v ~name:"check" (fun obs (plan, dsql) ->
+      let cost =
+        { Check.nodes = pdw_opts.Pdwopt.Enumerate.nodes;
+          lambdas = pdw_opts.Pdwopt.Enumerate.lambdas;
+          reg }
+      in
+      match Check.validate ~obs ~cost ~dsql ~shell plan with
+      | [] -> ()
+      | vs -> raise (Check.Invalid vs))
+
 (** [baseline]: best serial plan -> greedily parallelized plan (§3.2). *)
 let baseline_stage opts reg shell
   : (Serialopt.Plan.t option, Pdwopt.Pplan.t option) Stage.t =
@@ -235,7 +252,7 @@ let baseline_stage opts reg shell
     [obs] context to collect the per-stage span tree and counters; pass a
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
-    (shell : Catalog.Shell_db.t) (sql : string) : result =
+    ?(check = true) (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
     | Some o -> o
@@ -287,6 +304,10 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
     in
     let pdw = Stage.run obs (pdw_stage opts.pdw) memo in
     let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
+    if check then
+      Stage.run obs
+        (check_stage shell opts.pdw memo.Memo.reg)
+        (pdw.Pdwopt.Optimizer.plan, dsql);
     let baseline_plan =
       Stage.run obs (baseline_stage opts.baseline reg shell)
         serial.Serialopt.Optimizer.best

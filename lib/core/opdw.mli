@@ -90,9 +90,17 @@ val cache : ?capacity:int -> unit -> cache
     serial exploration, the XML interchange, PDW enumeration, DSQL
     generation and baseline parallelization, returning the previously
     compiled plans. Reports [plancache.hit] / [plancache.miss] /
-    [plancache.evict] counters into [obs]. *)
+    [plancache.evict] counters into [obs].
+
+    [check] (default [true]) runs the {!Check} static analyzer over the
+    chosen plan and its DSQL steps (a [check] stage after [dsql_generate])
+    and raises {!Check.Invalid} if any invariant is violated — an
+    optimizer bug surfaces as an error instead of silently wrong rows.
+    Cached tails were validated when first compiled, so a cache hit does
+    not re-run the analyzer. *)
 val optimize :
-  ?obs:Obs.t -> ?options:options -> ?cache:cache -> Catalog.Shell_db.t -> string -> result
+  ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
+  Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
 val plan : result -> Pdwopt.Pplan.t

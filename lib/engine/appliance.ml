@@ -78,14 +78,18 @@ type t = {
           nodes in parallel", §2.1/§2.4); {!Par.sequential} by default.
           The simulated clock is unaffected: per-node times are combined
           with the same max/sum rules either way. *)
+  mutable check : bool;
+      (** validate every plan handed to {!run_pplan} with
+          {!Check.validate_exec} and refuse invalid ones ({!Check.Invalid})
+          rather than silently producing wrong rows; on by default *)
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
-    (shell : Catalog.Shell_db.t) : t =
+    ?(check = true) (shell : Catalog.Shell_db.t) : t =
   let nodes = Catalog.Shell_db.node_count shell in
   { shell; nodes; hw;
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
-    account = fresh_account (); obs; pool }
+    account = fresh_account (); obs; pool; check }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
@@ -93,6 +97,9 @@ let set_obs t obs = t.obs <- obs
 (** Attach a domain pool for multicore shard execution (typically one pool
     per process, shared across appliances). *)
 let set_pool t pool = t.pool <- pool
+
+(** Enable/disable the {!Check} execution gate (see the [check] field). *)
+let set_check t check = t.check <- check
 
 let reset_account t =
   let a = fresh_account () in
@@ -431,8 +438,19 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
 (* -- full distributed plan execution -- *)
 
 (** Execute a PDW plan on the appliance. Returns the final client result
-    (rows + layout); accounting accumulates in [t.account]. *)
+    (rows + layout); accounting accumulates in [t.account].
+
+    Unless {!set_check} disabled it, the plan is first passed through the
+    static analyzer's execution-soundness rules; an invalid plan raises
+    {!Check.Invalid} instead of executing — the simulated substrate would
+    otherwise silently run it and return wrong rows (the real engine
+    rejects such plans). *)
 let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
+  if t.check then begin
+    match Check.validate_exec ~obs:t.obs ~shell:t.shell p with
+    | [] -> ()
+    | vs -> raise (Check.Invalid vs)
+  end;
   match p.Pdwopt.Pplan.op with
   | Pdwopt.Pplan.Return { sort; limit } ->
     let child =

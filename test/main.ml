@@ -17,6 +17,7 @@ let () =
       ("engine", Test_engine.suite);
       ("baseline", Test_baseline.suite);
       ("tpch", Test_tpch.suite);
+      ("check", Test_check.suite);
       ("union", Test_union.suite);
       ("hints", Test_hints.suite);
       ("e2e", Test_e2e.suite);

@@ -45,6 +45,27 @@ let test_join_local_semi () =
          (jl k (h [ 1 ]) Distprop.Replicated = Some (h [ 1 ])))
     Algebra.Relop.[ Semi; Anti_semi; Left_outer ]
 
+(* [Hashed []] is the distributed-unknown sentinel: it is distributed on
+   *some* columns, so no hash-alignment argument is ever allowed on it. The
+   static analyzer (lib/check) leans on these corners. *)
+let test_hashed_unknown_corners () =
+  let jl = Distprop.join_local ~kind:Algebra.Relop.Inner ~equi in
+  Alcotest.(check bool) "unknown x unknown never collocated" true
+    (jl (h []) (h []) = None);
+  Alcotest.(check bool) "hashed x unknown never collocated" true
+    (jl (h [ 1 ]) (h []) = None);
+  Alcotest.(check bool) "unknown x hashed never collocated" true
+    (jl (h []) (h [ 11 ]) = None);
+  Alcotest.(check bool) "unknown x replicated is local, stays unknown" true
+    (jl (h []) Distprop.Replicated = Some (h []));
+  Alcotest.(check bool) "group-by over unknown needs movement" true
+    (Distprop.groupby_local ~keys:[ 1 ] (h []) = None);
+  Alcotest.(check bool) "scalar aggregate over hashed needs movement" true
+    (Distprop.groupby_local ~keys:[] (h [ 1 ]) = None);
+  Alcotest.(check bool) "hash_compatible rejects unknown on either side" true
+    (not (Distprop.hash_compatible ~equi [] [ 11 ])
+     && not (Distprop.hash_compatible ~equi [ 1 ] []))
+
 let test_groupby_local () =
   Alcotest.(check bool) "hash cols subset of keys" true
     (Distprop.groupby_local ~keys:[ 1; 2 ] (h [ 1 ]) = Some (h [ 1 ]));
@@ -182,6 +203,7 @@ let suite =
     t "local inner joins" test_join_local_inner;
     t "local semi/anti/outer joins" test_join_local_semi;
     t "local group-by" test_groupby_local;
+    t "Hashed [] (distributed-unknown) corners" test_hashed_unknown_corners;
     t "movement transitions" test_op_transitions;
     t "all transitions reachable in one move" test_all_transitions_one_move;
     t "cost max-structure (Fig. 5)" test_cost_max_structure;

@@ -150,4 +150,28 @@ let prop_random_queries =
     ~count:60 arb_query
     (fun q -> check_one (Lazy.force w) q)
 
-let suite = [ QCheck_alcotest.to_alcotest prop_random_queries ]
+(* cheaper than execution, so many more queries: every optimized plan (and
+   its DSQL program) must pass the full static analyzer *)
+let validate_one (w : Opdw.Workload.t) (q : gen_query) =
+  let r = Opdw.optimize ~check:false w.Opdw.Workload.shell q.sql in
+  let cost =
+    { Check.nodes = 4;
+      lambdas = Pdwopt.Enumerate.default_opts.Pdwopt.Enumerate.lambdas;
+      reg = r.Opdw.memo.Memo.reg }
+  in
+  match
+    Check.validate ~cost ~dsql:r.Opdw.dsql ~shell:w.Opdw.Workload.shell
+      (Opdw.plan r)
+  with
+  | [] -> true
+  | vs -> QCheck.Test.fail_report (q.sql ^ "\n" ^ Check.to_string vs)
+
+let prop_plans_valid =
+  let w = lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.001 ()) in
+  QCheck.Test.make ~name:"random queries: plans pass the static analyzer"
+    ~count:500 arb_query
+    (fun q -> validate_one (Lazy.force w) q)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_random_queries;
+    QCheck_alcotest.to_alcotest prop_plans_valid ]

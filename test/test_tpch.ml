@@ -117,6 +117,23 @@ let test_value_types_match_schema () =
            schema.Schema.columns)
     Tpch.Schema.layout
 
+let test_plans_validate () =
+  (* every bundled workload query's chosen plan + DSQL program must pass the
+     full static analyzer (distribution, movement, cost, DSQL rules) *)
+  let sh = Fixtures.shell () in
+  List.iter
+    (fun q ->
+       let r = Opdw.optimize ~check:false sh q.Tpch.Queries.sql in
+       let cost =
+         { Check.nodes = 4;
+           lambdas = Pdwopt.Enumerate.default_opts.Pdwopt.Enumerate.lambdas;
+           reg = r.Opdw.memo.Memo.reg }
+       in
+       match Check.validate ~cost ~dsql:r.Opdw.dsql ~shell:sh (Opdw.plan r) with
+       | [] -> ()
+       | vs -> Alcotest.failf "%s:\n%s" q.Tpch.Queries.id (Check.to_string vs))
+    Tpch.Queries.all
+
 let suite =
   [ t "table count" test_schema_count;
     t "paper distribution layout" test_distribution_layout;
@@ -126,4 +143,5 @@ let suite =
     t "referential integrity" test_referential_integrity;
     t "lineitem date ordering" test_lineitem_dates_consistent;
     t "forest parts exist (Q20)" test_forest_parts_exist;
-    t "value types match schema" test_value_types_match_schema ]
+    t "value types match schema" test_value_types_match_schema;
+    t "workload plans pass the analyzer" test_plans_validate ]
