@@ -104,9 +104,6 @@ let no_cache_t =
        & info [ "no-plan-cache" ]
          ~doc:"Disable the plan cache (every query pays full serial + PDW optimization).")
 
-let make_pool jobs =
-  Par.create ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs) ()
-
 let make_cache no_cache = if no_cache then None else Some (Opdw.cache ())
 
 let check_t =
@@ -120,6 +117,34 @@ let check_t =
              (false,
               info [ "no-check" ]
                 ~doc:"Skip the static plan-validity analyzer.") ])
+
+let chaos_t =
+  Arg.(value & flag
+       & info [ "chaos" ]
+         ~doc:"Execute under deterministic fault injection: transient failures are \
+               retried with simulated backoff, node losses re-optimize on the \
+               survivors. Result rows are identical to the fault-free run unless \
+               a retry budget is exhausted.")
+
+let fault_seed_t =
+  Arg.(value & opt int 1
+       & info [ "fault-seed" ] ~docv:"SEED"
+         ~doc:"Seed for the fault-injection draws (chaos mode). A fixed seed \
+               reproduces the exact fault pattern and simulated times at any \
+               $(b,--jobs).")
+
+let fault_rate_t =
+  Arg.(value & opt float 0.05
+       & info [ "fault-rate" ] ~docv:"P"
+         ~doc:"Per-site fault probability per step attempt (chaos mode); node \
+               crashes fire at P/8.")
+
+let fault_schedule_t =
+  Arg.(value & opt (some string) None
+       & info [ "fault-schedule" ] ~docv:"FILE"
+         ~doc:"Inject exactly the faults listed in FILE (one per line: \
+               site=<name> step=<k> [node=] [attempt=] [epoch=] [factor=]); \
+               implies $(b,--chaos) and overrides $(b,--fault-seed)/$(b,--fault-rate).")
 
 let profile_t =
   Arg.(value & flag
@@ -177,31 +202,52 @@ let explain_cmd =
 
 (* -- run -- *)
 
-let run nodes sf query sql file seed budget limit jobs no_cache check repeat profile debug =
+let run nodes sf query sql file seed budget limit jobs no_cache check repeat chaos
+    fault_seed fault_rate fault_schedule profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
   let cache = make_cache no_cache in
-  let pool = make_pool jobs in
+  (* the bracket shuts the pool down even if optimization or execution
+     raises, so an error mid-run cannot leak live domains *)
+  Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+  @@ fun pool ->
   let app = w.Opdw.Workload.app in
   Engine.Appliance.set_pool app pool;
   Engine.Appliance.set_check app check;
-  let once () =
-    let r = Opdw.optimize ~obs ~options ?cache ~check w.Opdw.Workload.shell text in
-    Engine.Appliance.reset_account app;
-    (r, Opdw.run ~obs app r)
+  let chaos = chaos || fault_schedule <> None in
+  let r, res, app =
+    if chaos then begin
+      let fault =
+        match fault_schedule with
+        | Some f -> Fault.load_schedule f
+        | None -> Fault.seeded ~seed:fault_seed ~rate:fault_rate ()
+      in
+      let ctx = Opdw.Chaos.create ?cache ~options ~fault w.Opdw.Workload.shell app in
+      let once () =
+        Engine.Appliance.reset_account (Opdw.Chaos.app ctx);
+        Opdw.Chaos.run ~obs ctx text
+      in
+      let rr = ref (once ()) in
+      for _ = 2 to max 1 repeat do rr := once () done;
+      let r, res = !rr in
+      (r, res, Opdw.Chaos.app ctx)
+    end
+    else begin
+      let once () =
+        let r = Opdw.optimize ~obs ~options ?cache ~check w.Opdw.Workload.shell text in
+        Engine.Appliance.reset_account app;
+        (r, Opdw.run ~obs ?cache app r)
+      in
+      (* --repeat: re-optimize (through the cache) and re-execute; the extra
+         rounds exercise plan-cache hits and the multicore appliance *)
+      let rr = ref (once ()) in
+      for _ = 2 to max 1 repeat do rr := once () done;
+      let r, res = !rr in
+      (r, res, app)
+    end
   in
-  let r, res = once () in
-  (* --repeat: re-optimize (through the cache) and re-execute; the extra
-     rounds exercise plan-cache hits and the multicore appliance *)
-  let r, res =
-    let rr = ref (r, res) in
-    for _ = 2 to max 1 repeat do rr := once () done;
-    !rr
-  in
-  let used_jobs = Par.jobs pool in
-  Par.shutdown pool;
   let names = List.map fst (Opdw.output_columns r) in
   print_endline (String.concat " | " names);
   List.iteri
@@ -218,9 +264,21 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat pro
     "\n%d rows; %d DMS steps; %.0f bytes moved; simulated response time %.4gs (DMS %.4gs)\n"
     total a.Engine.Appliance.moves a.Engine.Appliance.bytes_moved
     a.Engine.Appliance.sim_time a.Engine.Appliance.dms_time;
+  if chaos then begin
+    Printf.printf
+      "chaos: %d faults injected; %d retries (%.4gs backoff); %d steps recovered; \
+       %d replans; %d/%d nodes alive\n"
+      a.Engine.Appliance.injected a.Engine.Appliance.retries
+      a.Engine.Appliance.backoff_time a.Engine.Appliance.recovered
+      a.Engine.Appliance.replans app.Engine.Appliance.nodes nodes;
+    match Obs.counters_prefixed obs "fault." with
+    | [] -> ()
+    | cs ->
+      List.iter (fun (k, v) -> Printf.printf "  %-28s %.6g\n" k v) cs
+  end;
   if repeat > 1 then
     Printf.printf "(%d rounds; execution used %d domains; plan cache %s)\n" repeat
-      used_jobs (if no_cache then "off" else "on");
+      (Par.jobs pool) (if no_cache then "off" else "on");
   print_profile obs
 
 let run_cmd =
@@ -235,7 +293,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
-          $ jobs_t $ no_cache_t $ check_t $ repeat $ profile_t $ debug_t)
+          $ jobs_t $ no_cache_t $ check_t $ repeat $ chaos_t $ fault_seed_t $ fault_rate_t
+          $ fault_schedule_t $ profile_t $ debug_t)
 
 (* -- memo -- *)
 
@@ -339,5 +398,11 @@ let () =
       Printf.eprintf "unsupported SQL construct: %s\n" msg; 1
     | Pdwopt.Optimizer.No_plan msg ->
       Printf.eprintf "optimization failed: %s\n" msg; 1
+    | Fault.Exhausted { failure; attempts } ->
+      Printf.eprintf "statement failed: retry budget exhausted after %d attempts (%s)\n"
+        attempts (Fault.failure_to_string failure);
+      1
+    | Fault.Schedule_error msg ->
+      Printf.eprintf "bad fault schedule: %s\n" msg; 1
   in
   exit code

@@ -51,6 +51,10 @@ type result = {
   pdw : Pdwopt.Optimizer.result;
   dsql : Dsql.Generate.plan;
   baseline_plan : Pdwopt.Pplan.t option;  (** parallelized best serial plan *)
+  fingerprint : string option;
+      (** the plan-cache key this result was filed under (when a cache was
+          given) — {!run} uses it to evict the entry if the appliance
+          rejects the plan *)
 }
 
 (** Everything downstream of normalization — the unit the plan cache
@@ -252,7 +256,8 @@ let baseline_stage opts reg shell
     [obs] context to collect the per-stage span tree and counters; pass a
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
-    ?(check = true) (shell : Catalog.Shell_db.t) (sql : string) : result =
+    ?(check = true) ?(live_nodes : int list option)
+    (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
     | Some o -> o
@@ -315,29 +320,31 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
     { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo; c_pdw = pdw;
       c_dsql = dsql; c_baseline = baseline_plan }
   in
-  let tail =
+  let tail, fingerprint =
     match cache with
-    | None -> compile_tail ()
+    | None -> (compile_tail (), None)
     | Some c ->
       let fp =
         Obs.with_span obs "plancache" @@ fun () ->
-        Plancache.fingerprint ~shell ~serial:opts.serial ~pdw:opts.pdw
-          ~baseline:opts.baseline ~via_xml:opts.via_xml
+        Plancache.fingerprint ?live_nodes ~shell ~serial:opts.serial
+          ~pdw:opts.pdw ~baseline:opts.baseline ~via_xml:opts.via_xml
           ~seed_collocated:opts.seed_collocated normalized
       in
       (match Plancache.find c fp with
        | Some tail ->
          Obs.add obs "plancache.hit" 1;
-         tail
+         (tail, Some fp)
        | None ->
          Obs.add obs "plancache.miss" 1;
+         (* [compile_tail] runs the check stage before this point, so an
+            invalid plan raises and is never admitted to the cache *)
          let tail = compile_tail () in
          if Plancache.add c fp tail then Obs.add obs "plancache.evict" 1;
-         tail)
+         (tail, Some fp))
   in
   { query; algebrized; normalized; serial = tail.c_serial;
     memo_xml = tail.c_memo_xml; memo = tail.c_memo; pdw = tail.c_pdw;
-    dsql = tail.c_dsql; baseline_plan = tail.c_baseline }
+    dsql = tail.c_dsql; baseline_plan = tail.c_baseline; fingerprint }
 
 (** The chosen distributed plan. *)
 let plan r = r.pdw.Pdwopt.Optimizer.plan
@@ -352,13 +359,23 @@ let explain (r : result) : string =
 (** Execute the chosen plan on an appliance; returns the client result.
     When [obs] is given it is attached to the appliance for the duration,
     so per-DMS-op and per-node executor counters land under an [execute]
-    span. *)
-let run ?(obs = Obs.null) (app : Engine.Appliance.t) (r : result) : Engine.Local.rset =
+    span. When [cache] is given and the appliance's {!Check} gate rejects
+    the plan, the plan's cache entry is evicted before {!Check.Invalid}
+    propagates — a poisoned entry must not be served on the next hit. *)
+let run ?(obs = Obs.null) ?(cache : cache option) (app : Engine.Appliance.t)
+    (r : result) : Engine.Local.rset =
   Engine.Appliance.set_obs app obs;
   Fun.protect
     ~finally:(fun () -> Engine.Appliance.set_obs app Obs.null)
     (fun () ->
-       Obs.with_span obs "execute" (fun () -> Engine.Appliance.run_pplan app (plan r)))
+       try Obs.with_span obs "execute" (fun () -> Engine.Appliance.run_pplan app (plan r))
+       with Check.Invalid _ as e ->
+         (match cache, r.fingerprint with
+          | Some c, Some fp ->
+            if Plancache.remove_invalid c fp then
+              Obs.add obs "plancache.evictions_invalid" 1
+          | _ -> ());
+         raise e)
 
 (** Execute the baseline (parallelized best serial) plan. *)
 let run_baseline (app : Engine.Appliance.t) (r : result) : Engine.Local.rset option =
@@ -370,6 +387,74 @@ let run_reference (app : Engine.Appliance.t) (r : result) : Engine.Local.rset op
 
 (** The query's output columns (display name, column id). *)
 let output_columns (r : result) = r.algebrized.Algebra.Algebrizer.output
+
+(* alias for use inside [Chaos], whose own [run] shadows the name *)
+let execute_result = run
+
+module Chaos = struct
+  (** Fault-tolerant statement driver: the optimize→check→execute loop
+      with graceful degradation. Statements run under the context's fault
+      plan; recoverable faults are retried inside the engine, and a
+      {!Fault.Node_crash} escalates here — the dead node is
+      decommissioned, the statement is re-optimized against the
+      (N-1)-node shell catalog (the plan-cache fingerprint carries the
+      live-node set, so stale-topology entries cannot hit) and
+      re-executed. Subsequent statements keep running on the survivors. *)
+
+  type t = {
+    mutable shell : Catalog.Shell_db.t;
+    mutable app : Engine.Appliance.t;
+    mutable options : options;
+    cache : cache option;
+    fault : Fault.plan;
+    max_replans : int;
+  }
+
+  let create ?cache ?(max_replans = 8) ?options ~(fault : Fault.plan)
+      (shell : Catalog.Shell_db.t) (app : Engine.Appliance.t) : t =
+    let options =
+      match options with
+      | Some o -> o
+      | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
+    in
+    { shell; app; options; cache; fault; max_replans }
+
+  let app t = t.app
+  let shell t = t.shell
+  let nodes t = t.app.Engine.Appliance.nodes
+
+  let run ?(obs = Obs.null) (t : t) (sql : string) : result * Engine.Local.rset =
+    let rec go replans =
+      Engine.Appliance.set_fault t.app t.fault;
+      let live = Engine.Appliance.live_nodes t.app in
+      let r = optimize ~obs ~options:t.options ?cache:t.cache ~live_nodes:live t.shell sql in
+      match execute_result ~obs ?cache:t.cache t.app r with
+      | rows -> (r, rows)
+      | exception Fault.Injected ({ Fault.site = Fault.Node_crash; _ } as failure) ->
+        if nodes t <= 1 || replans >= t.max_replans then
+          raise (Fault.Exhausted { failure; attempts = replans + 1 });
+        Obs.add obs "fault.replan_statements" 1;
+        let app' =
+          Obs.with_span obs "fault.replan" @@ fun () ->
+          (* attach obs for the decommission itself so its fault.replans /
+             recovery-cost counters land under this span *)
+          Engine.Appliance.set_obs t.app obs;
+          let app' = Engine.Appliance.decommission t.app ~node:failure.Fault.node in
+          Engine.Appliance.set_obs t.app Obs.null;
+          Engine.Appliance.set_obs app' Obs.null;
+          app'
+        in
+        t.app <- app';
+        t.shell <- app'.Engine.Appliance.shell;
+        let n = app'.Engine.Appliance.nodes in
+        t.options <-
+          { t.options with
+            pdw = { t.options.pdw with Pdwopt.Enumerate.nodes = n };
+            baseline = { t.options.baseline with Baseline.nodes = n } };
+        go (replans + 1)
+    in
+    go 0
+end
 
 module Workload = struct
   (** Convenience setup: a TPC-H appliance with generated data and global

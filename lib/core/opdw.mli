@@ -52,6 +52,10 @@ type result = {
   dsql : Dsql.Generate.plan;
   baseline_plan : Pdwopt.Pplan.t option;
       (** the §3.2 strawman: the best serial plan, parallelized greedily *)
+  fingerprint : string option;
+      (** the plan-cache key this result was filed under (when [optimize]
+          was given a cache) — {!run} evicts it if the appliance rejects
+          the plan *)
 }
 
 (** The compiled pipeline tail a plan-cache entry memoizes: everything
@@ -97,9 +101,17 @@ val cache : ?capacity:int -> unit -> cache
     and raises {!Check.Invalid} if any invariant is violated — an
     optimizer bug surfaces as an error instead of silently wrong rows.
     Cached tails were validated when first compiled, so a cache hit does
-    not re-run the analyzer. *)
+    not re-run the analyzer (an invalid plan raises before admission, so
+    a poisoned tail is never cached here; {!run} evicts entries the
+    appliance rejects at execution time).
+
+    [live_nodes] is the appliance's surviving-node set (original node
+    ids, see {!Engine.Appliance.live_nodes}); it extends the plan-cache
+    fingerprint so plans compiled before a node loss cannot be served
+    against the shrunken topology. Defaults to all nodes alive. *)
 val optimize :
   ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
+  ?live_nodes:int list ->
   Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
@@ -112,8 +124,11 @@ val explain : result -> string
 (** Execute the chosen plan on an appliance; returns the client result.
     Byte/time accounting accumulates in the appliance's account; with
     [obs], per-DMS-op and per-node executor counters are recorded under an
-    [execute] span. *)
-val run : ?obs:Obs.t -> Engine.Appliance.t -> result -> Engine.Local.rset
+    [execute] span. With [cache], a plan the appliance's {!Check} gate
+    refuses is evicted from the cache (counter
+    [plancache.evictions_invalid]) before {!Check.Invalid} propagates. *)
+val run :
+  ?obs:Obs.t -> ?cache:cache -> Engine.Appliance.t -> result -> Engine.Local.rset
 
 (** Execute the parallelized-best-serial baseline plan, if one exists. *)
 val run_baseline : Engine.Appliance.t -> result -> Engine.Local.rset option
@@ -124,6 +139,43 @@ val run_reference : Engine.Appliance.t -> result -> Engine.Local.rset option
 
 (** The query's output columns: (display name, registry column id). *)
 val output_columns : result -> (string * int) list
+
+(** Fault-tolerant statement driver (chaos mode): runs statements under a
+    {!Fault.plan} through the optimize→check→execute loop. Recoverable
+    faults (DMS transfer, temp-table write, control transient, straggler)
+    are retried inside the engine with simulated backoff; a
+    {!Fault.Node_crash} decommissions the dead node and re-optimizes the
+    statement against the surviving (N-1)-node shell catalog. For any
+    fault plan that does not exhaust retry/replan budgets, result rows are
+    identical to the fault-free run. *)
+module Chaos : sig
+  type t
+
+  (** [create ?cache ?max_replans ?options ~fault shell app] — [app] must
+      be the appliance built from [shell]. [max_replans] (default 8)
+      bounds node losses tolerated per statement before
+      {!Fault.Exhausted}. The given plan [cache] is shared across
+      topologies safely: fingerprints carry the live-node set. *)
+  val create :
+    ?cache:cache -> ?max_replans:int -> ?options:options ->
+    fault:Fault.plan -> Catalog.Shell_db.t -> Engine.Appliance.t -> t
+
+  (** The current appliance — replaced by a fresh (N-1)-node one after
+      each node loss; its account carries across (see
+      {!Engine.Appliance.decommission}). *)
+  val app : t -> Engine.Appliance.t
+
+  (** The current shell catalog (rebuilt on node loss). *)
+  val shell : t -> Catalog.Shell_db.t
+
+  (** Surviving compute-node count. *)
+  val nodes : t -> int
+
+  (** Optimize and execute one statement under the fault plan. Raises
+      {!Fault.Exhausted} when a step's retry budget or the replan budget
+      is exceeded — never returns wrong rows. *)
+  val run : ?obs:Obs.t -> t -> string -> result * Engine.Local.rset
+end
 
 (** Batteries-included workload setup. *)
 module Workload : sig

@@ -35,6 +35,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable evictions_invalid : int;
 }
 
 type stats = {
@@ -43,11 +44,14 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  evictions_invalid : int;
+      (** entries evicted because their plan was rejected downstream
+          (by {!Check} or the appliance), not for capacity *)
 }
 
 let create ?(capacity = 128) () =
   { capacity = max 1 capacity; table = Hashtbl.create 64; mutex = Mutex.create ();
-    tick = 0; hits = 0; misses = 0; evictions = 0 }
+    tick = 0; hits = 0; misses = 0; evictions = 0; evictions_invalid = 0 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -99,10 +103,24 @@ let add t key v =
     Hashtbl.replace t.table key { last_use = t.tick; value = v };
     evicted
 
+(** [remove_invalid t key] drops a poisoned entry — one whose cached plan
+    was later rejected by the {!Check} analyzer or refused by the
+    appliance — so the next lookup recompiles instead of re-serving it.
+    Returns [true] when the key was present. *)
+let remove_invalid t key =
+  with_lock t @@ fun () ->
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    t.evictions_invalid <- t.evictions_invalid + 1;
+    true
+  end
+  else false
+
 let stats t =
   with_lock t @@ fun () ->
   { size = Hashtbl.length t.table; capacity = t.capacity; hits = t.hits;
-    misses = t.misses; evictions = t.evictions }
+    misses = t.misses; evictions = t.evictions;
+    evictions_invalid = t.evictions_invalid }
 
 let clear t =
   with_lock t @@ fun () ->
@@ -167,14 +185,24 @@ let hint (t, h) =
     (match h with `Broadcast -> "B" | `Shuffle -> "S")
 
 (** The cache key for one optimization request: canonical tree render plus
-    every knob the pipeline's plan choice depends on. *)
-let fingerprint ~(shell : Catalog.Shell_db.t)
+    every knob the pipeline's plan choice depends on. [live_nodes] is the
+    appliance's surviving-node set (original node ids) — after a node loss
+    the topology differs even at an equal node count's worth of knobs, so
+    plans compiled for the old topology must miss, not hit (v2 of the
+    key). Defaults to all of [shell]'s nodes alive. *)
+let fingerprint ?live_nodes ~(shell : Catalog.Shell_db.t)
     ~(serial : Serialopt.Optimizer.options) ~(pdw : Pdwopt.Enumerate.opts)
     ~(baseline : Baseline.opts) ~(via_xml : bool) ~(seed_collocated : bool)
     (normalized : Algebra.Relop.t) : string =
+  let live =
+    match live_nodes with
+    | Some l -> l
+    | None -> List.init (Catalog.Shell_db.node_count shell) Fun.id
+  in
   String.concat "|"
-    [ Printf.sprintf "v1;nodes=%d;stats=%d"
+    [ Printf.sprintf "v2;nodes=%d;live=%s;stats=%d"
         (Catalog.Shell_db.node_count shell)
+        (String.concat "," (List.map string_of_int live))
         (Catalog.Shell_db.stats_version shell);
       Printf.sprintf "serial=%d,%b,%b" serial.Serialopt.Optimizer.task_budget
         serial.Serialopt.Optimizer.enable_merge_join

@@ -44,13 +44,40 @@ type account = {
   mutable network_samples : Dms.Calibrate.sample list;
   mutable writer_samples : Dms.Calibrate.sample list;
   mutable blkcpy_samples : Dms.Calibrate.sample list;
+  (* fault plane *)
+  mutable injected : int;           (** faults that fired (stragglers included) *)
+  mutable retries : int;            (** step re-executions after a failure *)
+  mutable recovered : int;          (** steps that eventually succeeded *)
+  mutable replans : int;            (** node losses escalated to re-optimization *)
+  mutable backoff_time : float;     (** simulated seconds spent backing off *)
 }
 
 let fresh_account () = {
   sim_time = 0.; dms_time = 0.; bytes_moved = 0.; rows_moved = 0.; moves = 0;
   reader_samples = []; reader_hash_samples = []; network_samples = [];
   writer_samples = []; blkcpy_samples = [];
+  injected = 0; retries = 0; recovered = 0; replans = 0; backoff_time = 0.;
 }
+
+(* copy every field of [src] into [dst]; keeps [reset_account] and the
+   account carry-over across a node-loss replan in one place, so a new
+   account field cannot be forgotten in one of them *)
+let assign_account ~(dst : account) (src : account) =
+  dst.sim_time <- src.sim_time;
+  dst.dms_time <- src.dms_time;
+  dst.bytes_moved <- src.bytes_moved;
+  dst.rows_moved <- src.rows_moved;
+  dst.moves <- src.moves;
+  dst.reader_samples <- src.reader_samples;
+  dst.reader_hash_samples <- src.reader_hash_samples;
+  dst.network_samples <- src.network_samples;
+  dst.writer_samples <- src.writer_samples;
+  dst.blkcpy_samples <- src.blkcpy_samples;
+  dst.injected <- src.injected;
+  dst.retries <- src.retries;
+  dst.recovered <- src.recovered;
+  dst.replans <- src.replans;
+  dst.backoff_time <- src.backoff_time
 
 let samples_of account (c : Dms.Calibrate.component) =
   match c with
@@ -82,6 +109,20 @@ type t = {
       (** validate every plan handed to {!run_pplan} with
           {!Check.validate_exec} and refuse invalid ones ({!Check.Invalid})
           rather than silently producing wrong rows; on by default *)
+  mutable fault : Fault.plan;
+      (** fault-injection plan consulted at the engine's injection sites;
+          {!Fault.none} by default (every draw is a no-op) *)
+  mutable epoch : int;
+      (** replan epoch: 0 at creation, bumped by {!decommission}; part of
+          every fault-draw coordinate so post-replan execution redraws *)
+  mutable live : int list;
+      (** original node ids still alive, in current-node-index order;
+          [List.init nodes Fun.id] until a node is decommissioned *)
+  mutable step_no : int;
+      (** injectable steps started in the current statement (deterministic
+          plan-traversal order); reset by {!begin_statement} *)
+  mutable cur_step : int;     (** step id the recovery wrapper is executing *)
+  mutable cur_attempt : int;  (** execution attempt of that step (0 = first) *)
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
@@ -89,7 +130,9 @@ let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
   let nodes = Catalog.Shell_db.node_count shell in
   { shell; nodes; hw;
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
-    account = fresh_account (); obs; pool; check }
+    account = fresh_account (); obs; pool; check;
+    fault = Fault.none; epoch = 0; live = List.init nodes Fun.id;
+    step_no = 0; cur_step = 0; cur_attempt = 0 }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
@@ -101,14 +144,20 @@ let set_pool t pool = t.pool <- pool
 (** Enable/disable the {!Check} execution gate (see the [check] field). *)
 let set_check t check = t.check <- check
 
-let reset_account t =
-  let a = fresh_account () in
-  t.account.sim_time <- a.sim_time;
-  t.account.dms_time <- 0.; t.account.bytes_moved <- 0.;
-  t.account.rows_moved <- 0.; t.account.moves <- 0;
-  t.account.reader_samples <- []; t.account.reader_hash_samples <- [];
-  t.account.network_samples <- []; t.account.writer_samples <- [];
-  t.account.blkcpy_samples <- []
+(** Attach a fault-injection plan ({!Fault.none} disables injection). *)
+let set_fault t fault = t.fault <- fault
+
+(** Original node ids still alive (current node index -> original id). *)
+let live_nodes t = t.live
+
+let reset_account t = assign_account ~dst:t.account (fresh_account ())
+
+(** Start a new statement: step numbering restarts at 0 so explicit fault
+    schedules address steps of each statement independently. *)
+let begin_statement t =
+  t.step_no <- 0;
+  t.cur_step <- 0;
+  t.cur_attempt <- 0
 
 (* routing hash: must agree between initial loading and shuffles *)
 let route_hash (values : Catalog.Value.t list) =
@@ -161,6 +210,78 @@ let stream_rows (d : dstream) : rows =
   | Dms.Distprop.Single_node -> d.control
   | Dms.Distprop.Replicated -> if Array.length d.per_node = 0 then [] else d.per_node.(0)
   | Dms.Distprop.Hashed _ -> List.concat (Array.to_list d.per_node)
+
+(* -- fault injection and step-level recovery -- *)
+
+let fault_active t = t.fault.Fault.mode <> Fault.Off
+
+let note_injection t (site : Fault.site) =
+  t.account.injected <- t.account.injected + 1;
+  if Obs.enabled t.obs then begin
+    Obs.add t.obs "fault.injected" 1;
+    Obs.add t.obs ("fault.injected." ^ Fault.site_name site) 1
+  end
+
+let fail_at t (site : Fault.site) (node : int) =
+  note_injection t site;
+  raise (Fault.Injected { Fault.site; epoch = t.epoch; step = t.cur_step; node })
+
+(** Raise {!Fault.Injected} if the plan fires [site] at the step/attempt
+    the recovery wrapper is currently executing. For node-less sites. *)
+let inject_point (t : t) (site : Fault.site) =
+  if fault_active t
+     && Fault.fires t.fault ~site ~epoch:t.epoch ~step:t.cur_step ~node:(-1)
+          ~attempt:t.cur_attempt
+  then fail_at t site (-1)
+
+(** [with_recovery t f] runs one injectable step [f] under the retry
+    policy: a recoverable {!Fault.Injected} charges exponential backoff to
+    the simulated clock and re-runs [f] (after [on_retry], which must make
+    re-execution idempotent — e.g. drop the step's temp table), up to the
+    policy's retry budget, after which {!Fault.Exhausted} is raised.
+    {!Fault.Node_crash} is not retryable here: it propagates to the caller
+    (the statement must be re-optimized against the surviving nodes). *)
+let with_recovery ?(on_retry = fun () -> ()) (t : t) (f : unit -> 'a) : 'a =
+  let step = t.step_no in
+  t.step_no <- step + 1;
+  if not (fault_active t) then begin
+    (* keep step numbering identical with injection off, so a schedule's
+       step ids can be derived from a fault-free run *)
+    t.cur_step <- step;
+    t.cur_attempt <- 0;
+    f ()
+  end
+  else begin
+    let policy = t.fault.Fault.policy in
+    let rec attempt k =
+      t.cur_step <- step;
+      t.cur_attempt <- k;
+      match f () with
+      | v ->
+        if k > 0 then begin
+          t.account.recovered <- t.account.recovered + 1;
+          if Obs.enabled t.obs then Obs.add t.obs "fault.recovered" 1
+        end;
+        v
+      | exception (Fault.Injected failure as e) ->
+        if failure.Fault.site = Fault.Node_crash then raise e
+        else if k >= policy.Fault.retries then
+          raise (Fault.Exhausted { failure; attempts = k + 1 })
+        else begin
+          let pause = Fault.backoff policy (k + 1) in
+          t.account.sim_time <- t.account.sim_time +. pause;
+          t.account.backoff_time <- t.account.backoff_time +. pause;
+          t.account.retries <- t.account.retries + 1;
+          if Obs.enabled t.obs then begin
+            Obs.add t.obs "fault.retries" 1;
+            Obs.addf t.obs "fault.backoff_seconds" pause
+          end;
+          on_retry ();
+          Obs.with_span t.obs "fault.retry" (fun () -> attempt (k + 1))
+        end
+    in
+    attempt 0
+  end
 
 (* -- simulated DMS runtime -- *)
 
@@ -265,7 +386,7 @@ let project_stream (d : dstream) (cols : int list) : dstream =
   end
 
 (** Execute one DMS operation on a stream (routing + accounting). *)
-let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) : dstream =
+let run_move_inner (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) : dstream =
   let n = t.nodes in
   let input = project_stream input cols in
   let vol rows = (rows_bytes rows, float_of_int (List.length rows)) in
@@ -350,6 +471,16 @@ let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) :
     { layout = cols; per_node = Array.make n []; control = all;
       dist = Dms.Distprop.Single_node }
 
+(** {!run_move_inner} plus the DMS injection sites: a transfer can fail
+    mid-move, or the destination temp-table write can fail. Both fire
+    after accounting — the failed attempt's work is on the clock, and the
+    recovery wrapper's retry re-runs (and re-charges) the move. *)
+let run_move (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) : dstream =
+  let out = run_move_inner t kind ~cols input in
+  inject_point t Fault.Dms_transfer;
+  inject_point t Fault.Temp_write;
+  out
+
 (* -- serial step execution -- *)
 
 let serial_step_time t (op : Memo.Physop.t) (out_rows : float) (in_rows : float list) =
@@ -390,10 +521,27 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
       Obs.addf t.obs "engine.serial.node_seconds" step;
       Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op)) step
     end;
+    inject_point t Fault.Control_transient;
     { layout = r.Local.layout; per_node = Array.make t.nodes []; control = r.Local.rows;
       dist = Dms.Distprop.Single_node }
   end
   else begin
+    (* node-crash decisions are drawn for every node BEFORE the parallel
+       fan-out and the lowest-index hit raised here, never from inside a
+       pool body — parallel_for's fail-fast picks an arbitrary first
+       exception, which would make the surfaced failure schedule-dependent *)
+    if fault_active t then begin
+      let rec first_crash node =
+        if node >= t.nodes then None
+        else if Fault.fires t.fault ~site:Fault.Node_crash ~epoch:t.epoch
+                  ~step:t.cur_step ~node ~attempt:t.cur_attempt
+        then Some node
+        else first_crash (node + 1)
+      in
+      match first_crash 0 with
+      | Some node -> fail_at t Fault.Node_crash node
+      | None -> ()
+    end;
     (* every node executes its shard concurrently on the domain pool; the
        bodies only read shared state (storage, children) and write their
        own result slot, so the fan-out is race-free and [outs] / [steps]
@@ -419,7 +567,25 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
     in
     let outs = Array.map fst node_results in
     let max_step = ref 0. in
-    Array.iter (fun (_, step) -> if step > !max_step then max_step := step) node_results;
+    (* stragglers inflate their node's step time before the max; applied
+       here (after the fan-out, in node order) so the combination stays
+       bit-identical at any --jobs *)
+    Array.iteri
+      (fun node (_, step) ->
+         let step =
+           if not (fault_active t) then step
+           else
+             match
+               Fault.straggle t.fault ~epoch:t.epoch ~step:t.cur_step ~node
+                 ~attempt:t.cur_attempt
+             with
+             | Some factor when factor > 0. ->
+               note_injection t Fault.Straggler;
+               step *. factor
+             | _ -> step
+         in
+         if step > !max_step then max_step := step)
+      node_results;
     t.account.sim_time <- t.account.sim_time +. !max_step;
     if Obs.enabled t.obs then begin
       Obs.add t.obs "par.tasks" t.nodes;
@@ -451,6 +617,7 @@ let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
     | [] -> ()
     | vs -> raise (Check.Invalid vs)
   end;
+  begin_statement t;
   match p.Pdwopt.Pplan.op with
   | Pdwopt.Pplan.Return { sort; limit } ->
     let child =
@@ -458,6 +625,9 @@ let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
       | [ c ] -> exec_node t c
       | _ -> raise (Local.Exec_error "Return expects one child")
     in
+    (* the gather is itself an injectable step (control-node transient);
+       it is pure over [child], so a retry just recomputes the result *)
+    with_recovery t @@ fun () ->
     let all = stream_rows child in
     (* streamed gather: network accounting only, no temp table *)
     (match child.dist with
@@ -469,6 +639,7 @@ let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
        t.account.bytes_moved <- t.account.bytes_moved +. b;
        Obs.addf t.obs "engine.return.bytes" b;
        Obs.addf t.obs "engine.return.rows" r);
+    inject_point t Fault.Control_transient;
     let rset = { Local.layout = child.layout; rows = all } in
     if sort = [] then
       (match limit with
@@ -483,7 +654,9 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
   match p.Pdwopt.Pplan.op with
   | Pdwopt.Pplan.Serial op ->
     let children = List.map (exec_node t) p.Pdwopt.Pplan.children in
-    let d = run_serial t op children in
+    (* serial steps and moves recompute over immutable input streams, so
+       re-execution after a failure is idempotent with no cleanup *)
+    let d = with_recovery t (fun () -> run_serial t op children) in
     { d with dist = p.Pdwopt.Pplan.dist }
   | Pdwopt.Pplan.Move { kind; cols } ->
     let child =
@@ -491,9 +664,88 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
       | [ c ] -> exec_node t c
       | _ -> raise (Local.Exec_error "Move expects one child")
     in
-    run_move t kind ~cols child
+    with_recovery t (fun () -> run_move t kind ~cols child)
   | Pdwopt.Pplan.Return _ ->
     raise (Local.Exec_error "nested Return")
+
+(* -- graceful degradation: node loss -- *)
+
+(** [decommission t ~node] builds a fresh [(nodes - 1)]-node appliance
+    after compute node [node] (current index) died: a new shell catalog
+    with the same schemas/statistics, every table reloaded and
+    re-partitioned mod the surviving count (hash shards are recovered from
+    the appliance's mirrored copies — the simulated substrate keeps the
+    full logical contents), the account carried over plus a recovery
+    charge of re-partitioning every hash-distributed table at DMS rates.
+    The replan [epoch] is bumped so fault draws restart, and [live] drops
+    the dead node's original id — callers key plan-cache fingerprints on
+    it so stale-topology plans cannot be served. *)
+let decommission (t : t) ~(node : int) : t =
+  if t.nodes <= 1 then
+    invalid_arg "Appliance.decommission: cannot lose the last compute node";
+  if node < 0 || node >= t.nodes then
+    invalid_arg "Appliance.decommission: no such node";
+  (* same tables, (N-1)-node topology; iterate sorted by name so shell
+     construction (and stats_version assignment) is deterministic *)
+  let tables =
+    List.sort
+      (fun (a : Catalog.Shell_db.table) (b : Catalog.Shell_db.table) ->
+         compare a.Catalog.Shell_db.schema.Catalog.Schema.name
+           b.Catalog.Shell_db.schema.Catalog.Schema.name)
+      (Catalog.Shell_db.tables t.shell)
+  in
+  let shell' = Catalog.Shell_db.create ~node_count:(t.nodes - 1) in
+  List.iter
+    (fun (tbl : Catalog.Shell_db.table) ->
+       ignore
+         (Catalog.Shell_db.add_table shell' ~stats:tbl.Catalog.Shell_db.stats
+            tbl.Catalog.Shell_db.schema tbl.Catalog.Shell_db.dist))
+    tables;
+  let t' = create ~hw:t.hw ~obs:t.obs ~pool:t.pool ~check:t.check shell' in
+  t'.fault <- t.fault;
+  t'.epoch <- t.epoch + 1;
+  t'.live <- List.filteri (fun i _ -> i <> node) t.live;
+  (* reload user data; the re-partition of every hash-distributed table is
+     the recovery work, charged at reader+network+writer rates *)
+  let moved_bytes = ref 0. and moved_rows = ref 0. in
+  List.iter
+    (fun (tbl : Catalog.Shell_db.table) ->
+       let name = tbl.Catalog.Shell_db.schema.Catalog.Schema.name in
+       let key = String.lowercase_ascii name in
+       match tbl.Catalog.Shell_db.dist with
+       | Catalog.Distribution.Replicated ->
+         (match Hashtbl.find_opt t.storage.(0) key with
+          | Some rows -> load_table t' name rows
+          | None -> ())
+       | Catalog.Distribution.Hash_partitioned _ ->
+         let shards =
+           List.init t.nodes (fun i ->
+               Option.value ~default:[] (Hashtbl.find_opt t.storage.(i) key))
+         in
+         if List.exists (fun s -> s <> []) shards
+            || Hashtbl.mem t.storage.(0) key then begin
+           let all = List.concat shards in
+           moved_bytes := !moved_bytes +. rows_bytes all;
+           moved_rows := !moved_rows +. float_of_int (List.length all);
+           load_table t' name all
+         end)
+    tables;
+  let hw = t.hw in
+  let recovery =
+    (!moved_bytes *. (hw.reader_byte +. hw.network_byte +. hw.writer_byte))
+    +. (!moved_rows *. (hw.reader_row +. hw.network_row +. hw.writer_row))
+  in
+  assign_account ~dst:t'.account t.account;
+  t'.account.sim_time <- t'.account.sim_time +. recovery;
+  t'.account.dms_time <- t'.account.dms_time +. recovery;
+  t'.account.bytes_moved <- t'.account.bytes_moved +. !moved_bytes;
+  t'.account.rows_moved <- t'.account.rows_moved +. !moved_rows;
+  t'.account.replans <- t'.account.replans + 1;
+  if Obs.enabled t.obs then begin
+    Obs.add t.obs "fault.replans" 1;
+    Obs.addf t.obs "fault.recovery_seconds" recovery
+  end;
+  t'
 
 (** Single-node oracle: run a serial plan over the full (unpartitioned)
     tables. *)

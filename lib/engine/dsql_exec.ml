@@ -140,10 +140,19 @@ let run_statement st sql ~on_control : stmt_result =
 let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
   let st = create app plan.Dsql.Generate.reg in
   let result = ref None in
+  Appliance.begin_statement app;
   List.iter
     (fun step ->
        match step with
        | Dsql.Generate.Dms_step { kind; temp_table; source_sql; cols; _ } ->
+         let temp_key = String.lowercase_ascii temp_table in
+         (* each DMS step is one recovery unit: a retry first drops the
+            step's (possibly partial) temp table, then re-runs the source
+            statement and the movement — DSQL's defined-before-use
+            discipline guarantees no later step consumed it yet *)
+         Appliance.with_recovery app
+           ~on_retry:(fun () -> Hashtbl.remove st.temps temp_key)
+         @@ fun () ->
          let single_source =
            match kind with
            | Dms.Op.Control_node_move | Dms.Op.Replicated_broadcast -> true
@@ -192,7 +201,9 @@ let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
          register_temp st temp_table cols
        | Dsql.Generate.Return_step { sql; _ } ->
          (* execute per node, gather, then apply the statement's global
-            ORDER BY / TOP on the gathered rows *)
+            ORDER BY / TOP on the gathered rows; one recovery unit — the
+            gather is pure, so a control-node transient just recomputes *)
+         Appliance.with_recovery app @@ fun () ->
          let r, tree = compile st sql in
          ignore r;
          let sort_spec =
@@ -222,6 +233,7 @@ let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
                  rows = List.concat_map (fun (p : Local.rset) -> p.Local.rows) parts }
            end
          in
+         Appliance.inject_point app Fault.Control_transient;
          let final =
            match sort_spec with
            | Some (keys, limit) -> Local.sort_rows ~keys ?limit gathered

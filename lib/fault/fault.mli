@@ -1,0 +1,122 @@
+(** Deterministic fault injection for the simulated appliance.
+
+    A {!plan} decides, at named injection {e sites} inside the engine,
+    whether a simulated failure fires. Decisions are pure functions of
+    [(seed, site, epoch, step, node, attempt)] — no shared mutable PRNG —
+    so a given plan produces the identical fault pattern at any [--jobs]
+    setting and regardless of domain scheduling. The engine owns recovery
+    (retries, backoff, node decommissioning); this module only answers
+    "does a fault fire here?" and carries the failure/exhaustion types.
+
+    Two ways to drive it:
+    - {!seeded}: per-site probabilities drawn from a seeded hash
+      (chaos-mode sweeps);
+    - {!schedule}: an explicit list of {!event}s naming exactly which
+      (site, step, node, attempt, epoch) fail (reproducing one scenario). *)
+
+(** Where a fault can fire inside the engine. *)
+type site =
+  | Dms_transfer       (** a DMS movement fails mid-transfer *)
+  | Node_crash         (** a compute node dies during a distributed step *)
+  | Straggler          (** a node runs slow: its step time is inflated *)
+  | Temp_write         (** writing a step's temp table fails *)
+  | Control_transient  (** transient error on the control node *)
+
+val all_sites : site list
+
+(** Stable wire names: [dms_transfer], [node_crash], [straggler],
+    [temp_write], [control_transient] (used by counters and schedules). *)
+val site_name : site -> string
+
+val site_of_name : string -> site option
+
+(** One entry of an explicit schedule. [e_node = None] matches any node
+    (and site-less-node sites like {!Dms_transfer}). [e_factor] is the
+    slowdown multiplier for {!Straggler} events (ignored elsewhere). *)
+type event = {
+  e_site : site;
+  e_step : int;          (** 0-based injectable-step index within a statement *)
+  e_node : int option;
+  e_attempt : int;       (** which execution attempt of the step (0 = first) *)
+  e_epoch : int;         (** replan epoch: 0 before any node loss *)
+  e_factor : float;
+}
+
+(** [event ?node ?attempt ?epoch ?factor site step] — defaults: any node,
+    attempt 0, epoch 0, factor 4.0. *)
+val event : ?node:int -> ?attempt:int -> ?epoch:int -> ?factor:float -> site -> int -> event
+
+(** Retry policy for recoverable faults. [retries] is the per-step budget
+    of re-executions after the first failure; retry [k] (1-based) charges
+    [backoff_base *. backoff_mult ^ (k - 1)] seconds of simulated backoff. *)
+type policy = {
+  retries : int;
+  backoff_base : float;
+  backoff_mult : float;
+}
+
+val default_policy : policy
+
+(** Simulated seconds of backoff before retry [attempt] (1-based). *)
+val backoff : policy -> int -> float
+
+type mode =
+  | Off
+  | Probabilistic of {
+      seed : int;
+      rates : (site * float) list;  (** per-site fire probability in [0,1] *)
+      straggle_factor : float;      (** slowdown applied when Straggler fires *)
+    }
+  | Schedule of event list
+
+type plan = { mode : mode; policy : policy }
+
+(** No faults ever fire. *)
+val none : plan
+
+(** [seeded ~seed ?rate ?rates ()] — probabilistic plan. [rate] (default
+    0.05) applies to every site except {!Node_crash}, which fires at
+    [rate /. 8.] (losing a node is rarer than a transient). [rates]
+    overrides the per-site table entirely. *)
+val seeded :
+  ?policy:policy -> ?rate:float -> ?rates:(site * float) list ->
+  ?straggle_factor:float -> seed:int -> unit -> plan
+
+(** An explicit schedule. *)
+val schedule : ?policy:policy -> event list -> plan
+
+exception Schedule_error of string
+
+(** Parse a schedule from text: one event per line of [key=value] fields
+    ([site] and [step] required; [node], [attempt], [epoch], [factor]
+    optional), [#] comments and blank lines ignored. Example:
+    {v site=dms_transfer step=2 attempt=0
+       site=node_crash step=0 node=1 v}
+    Raises {!Schedule_error} on malformed input. *)
+val parse_schedule : string -> event list
+
+(** [load_schedule file] reads and parses a schedule file. *)
+val load_schedule : ?policy:policy -> string -> plan
+
+(** [fires plan ~site ~epoch ~step ~node ~attempt] — does a fault fire at
+    this point? Pure: same arguments, same answer. Pass [node = -1] for
+    sites not tied to a compute node. *)
+val fires : plan -> site:site -> epoch:int -> step:int -> node:int -> attempt:int -> bool
+
+(** Straggler slowdown factor for this node at this step, if one fires. *)
+val straggle : plan -> epoch:int -> step:int -> node:int -> attempt:int -> float option
+
+(** A fault that fired. [node = -1] when the site has no node. *)
+type failure = { site : site; epoch : int; step : int; node : int }
+
+val failure_to_string : failure -> string
+
+(** Raised by the engine at an injection point. Recoverable sites are
+    caught and retried by the engine's recovery wrapper; {!Node_crash}
+    escalates to re-optimization on the surviving nodes. *)
+exception Injected of failure
+
+(** The statement failed for good: the per-step retry budget (or the
+    replan budget, for node losses) was exhausted. [attempts] counts
+    executions of the failing step, the first included. *)
+exception Exhausted of { failure : failure; attempts : int }

@@ -112,6 +112,28 @@ let rec span_counter sp name =
 let counter t name =
   match t with Null -> 0. | Ctx c -> span_counter c.root name
 
+let counters_prefixed t prefix =
+  match t with
+  | Null -> []
+  | Ctx c ->
+    let matches name =
+      String.length name >= String.length prefix
+      && String.sub name 0 (String.length prefix) = prefix
+    in
+    let totals : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    let note (name, v) =
+      if matches name then
+        Hashtbl.replace totals name
+          (v +. Option.value ~default:0. (Hashtbl.find_opt totals name))
+    in
+    let rec walk sp =
+      List.iter note sp.metrics;
+      List.iter walk sp.children
+    in
+    walk c.root;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* -- reporting -- *)
 
 let metric_to_string (k, v) =

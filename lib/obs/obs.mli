@@ -68,6 +68,11 @@ val find : t -> string list -> span option
     root-level metrics). Returns [0.] when absent or on {!null}. *)
 val counter : t -> string -> float
 
+(** [counters_prefixed t prefix] — every counter whose name starts with
+    [prefix], summed over the whole tree, sorted by name. Useful for
+    reporting a metric family (e.g. [fault.]) without enumerating it. *)
+val counters_prefixed : t -> string -> (string * float) list
+
 (** Sum of a metric over one span's subtree. *)
 val span_counter : span -> string -> float
 

@@ -121,3 +121,7 @@ let parallel_map t f arr =
   end
 
 let parallel_iter t f arr = parallel_for t (Array.length arr) (fun i -> f arr.(i))
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -55,3 +55,8 @@ val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
 (** Stop the workers and join their domains. The pool degrades to
     sequential execution afterwards (calls remain valid). Idempotent. *)
 val shutdown : t -> unit
+
+(** [with_pool ~jobs f] brackets a pool's lifetime: [create], run [f],
+    then {!shutdown} — also when [f] raises, so an error mid-run cannot
+    leak live domains. Returns [f]'s result. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -23,4 +23,5 @@ let () =
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);
       ("par", Test_par.suite);
-      ("plancache", Test_plancache.suite) ]
+      ("plancache", Test_plancache.suite);
+      ("fault", Test_fault.suite) ]

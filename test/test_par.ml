@@ -66,6 +66,31 @@ let test_shutdown_degrades () =
     (Array.init 20 (fun i -> i * 2)) got;
   Par.shutdown pool (* idempotent *)
 
+let test_with_pool_bracket () =
+  let got =
+    Par.with_pool ~jobs:3 (fun pool ->
+        Par.parallel_map pool (fun i -> i + 1) (Array.init 10 Fun.id))
+  in
+  Alcotest.(check (array int)) "result passes through"
+    (Array.init 10 (fun i -> i + 1)) got
+
+let test_with_pool_shuts_on_raise () =
+  let leaked = ref None in
+  (try
+     Par.with_pool ~jobs:4 (fun pool ->
+         leaked := Some pool;
+         failwith "boom")
+   with Failure _ -> ());
+  match !leaked with
+  | None -> Alcotest.fail "body never ran"
+  | Some pool ->
+    (* shutdown already happened: the pool has no workers left and has
+       degraded to caller-only execution (jobs reports 1, calls stay valid) *)
+    Alcotest.(check int) "workers joined despite the raise" 1 (Par.jobs pool);
+    let got = Par.parallel_map pool (fun i -> i * 2) (Array.init 8 Fun.id) in
+    Alcotest.(check (array int)) "degraded pool still computes"
+      (Array.init 8 (fun i -> i * 2)) got
+
 let test_tasks_counter () =
   let pool = Par.create ~jobs:2 () in
   Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
@@ -82,4 +107,7 @@ let suite =
     Alcotest.test_case "pool reuse across many fan-outs" `Quick test_pool_reuse;
     Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
     Alcotest.test_case "shutdown degrades to sequential" `Quick test_shutdown_degrades;
+    Alcotest.test_case "with_pool brackets create/shutdown" `Quick test_with_pool_bracket;
+    Alcotest.test_case "with_pool shuts the pool when the body raises" `Quick
+      test_with_pool_shuts_on_raise;
     Alcotest.test_case "tasks_run counter" `Quick test_tasks_counter ]

@@ -35,10 +35,10 @@ let test_add_refresh () =
 
 (* -- fingerprint sensitivity -- *)
 
-let fingerprint_of ?(serial = Serialopt.Optimizer.default_options)
+let fingerprint_of ?live_nodes ?(serial = Serialopt.Optimizer.default_options)
     ?(pdw = Pdwopt.Enumerate.default_opts) ?(baseline = Baseline.default_opts)
     ?(via_xml = true) ?(seed_collocated = false) shell normalized =
-  Opdw.Plancache.fingerprint ~shell ~serial ~pdw ~baseline ~via_xml
+  Opdw.Plancache.fingerprint ?live_nodes ~shell ~serial ~pdw ~baseline ~via_xml
     ~seed_collocated normalized
 
 let test_fingerprint_sensitivity () =
@@ -83,7 +83,15 @@ let test_fingerprint_sensitivity () =
     Opdw.optimize shell
       "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey AND c_acctbal > 1000"
   in
-  differs "tree re-keys" (fingerprint_of shell r2.Opdw.normalized)
+  differs "tree re-keys" (fingerprint_of shell r2.Opdw.normalized);
+  (* losing a node re-keys: a plan compiled for 4 live nodes must not be
+     served after node 3 is decommissioned (compare against a fresh base —
+     the stats bump above already moved the original one) *)
+  let base2 = fingerprint_of shell tree in
+  Alcotest.(check bool) "live-node set re-keys" false
+    (String.equal base2 (fingerprint_of ~live_nodes:[ 0; 1; 2 ] shell tree));
+  Alcotest.(check string) "explicit full live set == default" base2
+    (fingerprint_of ~live_nodes:[ 0; 1; 2; 3 ] shell tree)
 
 let test_cache_hit_counters () =
   let w = Lazy.force w in
@@ -95,6 +103,54 @@ let test_cache_hit_counters () =
   let s = Opdw.Plancache.stats cache in
   Alcotest.(check int) "one miss" 1 s.Opdw.Plancache.misses;
   Alcotest.(check int) "two hits" 2 s.Opdw.Plancache.hits
+
+(* -- cache hygiene: rejected plans are evicted, never re-served -- *)
+
+let test_remove_invalid () =
+  let c = Opdw.Plancache.create ~capacity:4 () in
+  ignore (Opdw.Plancache.add c "a" 1);
+  ignore (Opdw.Plancache.add c "b" 2);
+  Alcotest.(check bool) "present entry removed" true
+    (Opdw.Plancache.remove_invalid c "a");
+  Alcotest.(check (option int)) "gone" None (Opdw.Plancache.find c "a");
+  Alcotest.(check bool) "absent key is a no-op" false
+    (Opdw.Plancache.remove_invalid c "a");
+  let s = Opdw.Plancache.stats c in
+  Alcotest.(check int) "one invalid eviction" 1 s.Opdw.Plancache.evictions_invalid;
+  Alcotest.(check int) "LRU evictions unaffected" 0 s.Opdw.Plancache.evictions;
+  Alcotest.(check int) "size shrank" 1 s.Opdw.Plancache.size
+
+let test_run_rejection_evicts () =
+  let w = Lazy.force w in
+  let shell = w.Opdw.Workload.shell in
+  let app = w.Opdw.Workload.app in
+  let cache = Opdw.cache () in
+  let sql = "SELECT o_custkey, COUNT(*) AS c FROM orders GROUP BY o_custkey" in
+  let r = Opdw.optimize ~cache shell sql in
+  Alcotest.(check bool) "result carries its cache key" true
+    (r.Opdw.fingerprint <> None);
+  (* corrupt the cached plan the way a miscompilation would: drop the
+     first Move, leaving a distribution-incompatible aggregation *)
+  let bad_plan =
+    Test_check.mutate_first
+      (fun n ->
+         match n.Pdwopt.Pplan.op with
+         | Pdwopt.Pplan.Move _ -> Some (List.hd n.Pdwopt.Pplan.children)
+         | _ -> None)
+      (Opdw.plan r)
+  in
+  let bad = { r with Opdw.pdw = { r.Opdw.pdw with Pdwopt.Optimizer.plan = bad_plan } } in
+  Engine.Appliance.reset_account app;
+  (match Opdw.run ~cache app bad with
+   | _ -> Alcotest.fail "corrupt plan passed the appliance gate"
+   | exception Check.Invalid _ -> ());
+  let s = Opdw.Plancache.stats cache in
+  Alcotest.(check int) "rejected plan evicted" 1 s.Opdw.Plancache.evictions_invalid;
+  (* the poisoned entry cannot be re-served: the next optimize is a miss *)
+  ignore (Opdw.optimize ~cache shell sql);
+  let s = Opdw.Plancache.stats cache in
+  Alcotest.(check int) "re-optimize misses" 2 s.Opdw.Plancache.misses;
+  Alcotest.(check int) "no hit off the poisoned key" 0 s.Opdw.Plancache.hits
 
 (* -- property: a cache hit is indistinguishable from a fresh optimize -- *)
 
@@ -161,5 +217,8 @@ let suite =
     Alcotest.test_case "add refreshes existing key" `Quick test_add_refresh;
     Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
     Alcotest.test_case "hit/miss counters" `Quick test_cache_hit_counters;
+    Alcotest.test_case "remove_invalid evicts and counts" `Quick test_remove_invalid;
+    Alcotest.test_case "appliance rejection evicts the cache entry" `Quick
+      test_run_rejection_evicts;
     QCheck_alcotest.to_alcotest prop_cache_hit_equals_fresh;
     QCheck_alcotest.to_alcotest prop_parallel_execution_identical ]
