@@ -4,6 +4,8 @@
      explain  - optimize a query and print the plans (logical, serial,
                 parallel, DSQL)
      run      - optimize and execute on a generated TPC-H appliance
+     overload - storm the appliance with concurrent statements through the
+                resource governor and verify answers against oracle rows
      memo     - dump the serial MEMO (optionally its XML encoding)
      queries  - list the bundled workload queries
 
@@ -146,6 +148,53 @@ let fault_schedule_t =
                site=<name> step=<k> [node=] [attempt=] [epoch=] [factor=]); \
                implies $(b,--chaos) and overrides $(b,--fault-seed)/$(b,--fault-rate).")
 
+(* -- governor options -- *)
+
+let deadline_ms_t =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock statement deadline in milliseconds. Optimization past \
+               the deadline degrades anytime-style (best plan found so far, or \
+               the baseline plan), execution past it returns a structured \
+               timeout; degraded plans still pass the validity analyzer and \
+               are never cached.")
+
+let sim_deadline_ms_t =
+  Arg.(value & opt (some float) None
+       & info [ "sim-deadline-ms" ] ~docv:"MS"
+         ~doc:"Simulated-clock execution deadline in milliseconds; deterministic \
+               at any $(b,--jobs) (the simulated clock is).")
+
+let memo_budget_t =
+  Arg.(value & opt (some int) None
+       & info [ "memo-budget" ] ~docv:"GROUPS"
+         ~doc:"Stop serial exploration once the MEMO reaches GROUPS groups and \
+               return the anytime best-so-far plan (deterministic degradation \
+               pressure, unlike wall-clock deadlines).")
+
+let max_concurrent_t =
+  Arg.(value & opt int 4
+       & info [ "max-concurrent" ] ~docv:"N"
+         ~doc:"Admission gate width: statements optimizing/executing at once.")
+
+let queue_limit_t =
+  Arg.(value & opt int 16
+       & info [ "queue-limit" ] ~docv:"N"
+         ~doc:"FIFO admission queue depth; a statement arriving beyond it is \
+               rejected with a structured answer, not an error.")
+
+let breaker_t =
+  Arg.(value & opt int 3
+       & info [ "breaker" ] ~docv:"K"
+         ~doc:"Circuit breaker: K consecutive hard failures of one statement \
+               fingerprint shed it for a cooldown (charged to the simulated \
+               clock). 0 disables the breaker.")
+
+let limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget =
+  { Governor.deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+    sim_deadline = Option.map (fun ms -> ms /. 1000.) sim_deadline_ms;
+    max_memo_groups = memo_budget }
+
 let profile_t =
   Arg.(value & flag
        & info [ "profile" ]
@@ -203,10 +252,12 @@ let explain_cmd =
 (* -- run -- *)
 
 let run nodes sf query sql file seed budget limit jobs no_cache check repeat chaos
-    fault_seed fault_rate fault_schedule profile debug =
+    fault_seed fault_rate fault_schedule deadline_ms sim_deadline_ms memo_budget
+    max_concurrent queue_limit breaker profile debug =
   let w = setup ~nodes ~sf in
   let text = resolve_sql query sql file in
-  let options = options_of ~nodes ~seed ~budget in
+  let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
+  let options = { (options_of ~nodes ~seed ~budget) with Opdw.governor = limits } in
   let obs = make_obs ~profile ~debug in
   let cache = make_cache no_cache in
   (* the bracket shuts the pool down even if optimization or execution
@@ -235,10 +286,23 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat cha
       (r, res, Opdw.Chaos.app ctx)
     end
     else begin
+      (* every non-chaos statement goes through the resource governor:
+         admission gate, deadline token, degradation ladder, breaker *)
+      let gov =
+        Opdw.Governed.create ?cache ~options ~check ~max_concurrent ~queue_limit
+          ~breaker_threshold:breaker w.Opdw.Workload.shell app
+      in
       let once () =
-        let r = Opdw.optimize ~obs ~options ?cache ~check w.Opdw.Workload.shell text in
-        Engine.Appliance.reset_account app;
-        (r, Opdw.run ~obs ?cache app r)
+        (* the shared reset path: account (sim clock + fault.* tallies)
+           plus gate/breaker counters, so --repeat rounds report
+           per-iteration numbers *)
+        Opdw.Governed.reset gov;
+        match Opdw.Governed.run ~obs gov text with
+        | Opdw.Governed.Returned (r, res) -> (r, res)
+        | oc ->
+          Printf.eprintf "statement not executed: %s\n"
+            (Opdw.Governed.outcome_to_string oc);
+          exit 1
       in
       (* --repeat: re-optimize (through the cache) and re-execute; the extra
          rounds exercise plan-cache hits and the multicore appliance *)
@@ -259,6 +323,11 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat cha
     res.Engine.Local.rows;
   let total = List.length res.Engine.Local.rows in
   if total > limit then Printf.printf "... (%d rows total)\n" total;
+  (match r.Opdw.degraded with
+   | Some d ->
+     Printf.printf "plan degraded: %s (governor pressure; plan still check-valid)\n"
+       (Opdw.degradation_to_string d)
+   | None -> ());
   let a = app.Engine.Appliance.account in
   Printf.printf
     "\n%d rows; %d DMS steps; %.0f bytes moved; simulated response time %.4gs (DMS %.4gs)\n"
@@ -294,7 +363,134 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
           $ jobs_t $ no_cache_t $ check_t $ repeat $ chaos_t $ fault_seed_t $ fault_rate_t
-          $ fault_schedule_t $ profile_t $ debug_t)
+          $ fault_schedule_t $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t
+          $ max_concurrent_t $ queue_limit_t $ breaker_t $ profile_t $ debug_t)
+
+(* -- overload -- *)
+
+(* Render a result set order-insensitively: the bundled queries end in
+   Sort/GroupBy whose inter-run order is deterministic, but oracle
+   comparison should not depend on it anyway. *)
+let render_rows (res : Engine.Local.rset) =
+  res.Engine.Local.rows
+  |> List.map (fun row ->
+         String.concat "|" (List.map Catalog.Value.to_string (Array.to_list row)))
+  |> List.sort compare
+  |> String.concat "\n"
+
+let overload nodes sf query statements jobs deadline_ms sim_deadline_ms memo_budget
+    max_concurrent queue_limit breaker expect_pressure =
+  let w = setup ~nodes ~sf in
+  let app = w.Opdw.Workload.app in
+  let plain = options_of ~nodes ~seed:false ~budget:20000 in
+  let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
+  let options = { plain with Opdw.governor = limits } in
+  (* statement mix: cycle the bundled workload queries (or just --query ID) *)
+  let bundle =
+    match query with
+    | Some id ->
+      (match Tpch.Queries.find id with
+       | Some q -> [ q ]
+       | None ->
+         Printf.eprintf "unknown query id %s (try: opdw_cli queries)\n" id;
+         exit 1)
+    | None -> Tpch.Queries.all
+  in
+  let stmts =
+    Array.init (max 1 statements) (fun i ->
+        let q = List.nth bundle (i mod List.length bundle) in
+        (q.Tpch.Queries.id, q.Tpch.Queries.sql))
+  in
+  (* Oracle pass: each distinct query compiled at full budget, no governor,
+     fault-free, sequentially — the rows every governed answer must match. *)
+  let oracle = Hashtbl.create 16 in
+  Array.iter
+    (fun (id, sql) ->
+       if not (Hashtbl.mem oracle id) then begin
+         let r = Opdw.optimize ~options:plain w.Opdw.Workload.shell sql in
+         Engine.Appliance.reset_account app;
+         Hashtbl.add oracle id (render_rows (Opdw.run app r))
+       end)
+    stmts;
+  Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+  @@ fun pool ->
+  Engine.Appliance.set_pool app pool;
+  let gov =
+    Opdw.Governed.create ~cache:(Opdw.cache ()) ~options ~check:true
+      ~max_concurrent ~queue_limit ~breaker_threshold:breaker
+      w.Opdw.Workload.shell app
+  in
+  Opdw.Governed.reset gov;
+  (* The storm: every statement races through the one governed entry point.
+     Par's caller-participation pool handles the nested fan-out (statement
+     level here, appliance shard level inside execution) without deadlock;
+     gate waiters block on a condition, not a pool slot. *)
+  let outcomes =
+    Par.parallel_map pool (fun (id, sql) -> (id, Opdw.Governed.run gov sql)) stmts
+  in
+  let returned = ref 0 and degraded = ref 0 and rejected = ref 0 and shed = ref 0 in
+  let timed_out = ref 0 and exhausted = ref 0 and invalid = ref 0 and wrong = ref 0 in
+  Array.iter
+    (fun (id, oc) ->
+       match oc with
+       | Opdw.Governed.Returned (r, res) ->
+         incr returned;
+         if r.Opdw.degraded <> None then incr degraded;
+         if render_rows res <> Hashtbl.find oracle id then begin
+           incr wrong;
+           Printf.eprintf "WRONG ROWS for %s%s\n" id
+             (match r.Opdw.degraded with
+              | Some d -> Printf.sprintf " (degraded: %s)" (Opdw.degradation_to_string d)
+              | None -> "")
+         end
+       | Opdw.Governed.Rejected _ -> incr rejected
+       | Opdw.Governed.Shed _ -> incr shed
+       | Opdw.Governed.Timed_out _ -> incr timed_out
+       | Opdw.Governed.Exhausted _ -> incr exhausted
+       | Opdw.Governed.Invalid msg ->
+         incr invalid;
+         Printf.eprintf "INVALID plan for %s: %s\n" id msg)
+    outcomes;
+  let gs = Governor.Gate.stats (Opdw.Governed.gate gov) in
+  let bs = Governor.Breaker.stats (Opdw.Governed.breaker gov) in
+  Printf.printf
+    "%d statements: %d returned (%d degraded), %d rejected, %d shed, %d timed out, \
+     %d exhausted, %d invalid, %d wrong-row\n"
+    (Array.length stmts) !returned !degraded !rejected !shed !timed_out !exhausted
+    !invalid !wrong;
+  Printf.printf
+    "gate: %d admitted, %d queued, %d rejected, peak %d running; \
+     breaker: %d trips, %d shed, %d probes\n"
+    gs.Governor.Gate.admitted gs.Governor.Gate.queued_total gs.Governor.Gate.rejected
+    gs.Governor.Gate.peak_running bs.Governor.Breaker.trips bs.Governor.Breaker.shed
+    bs.Governor.Breaker.probes;
+  if !wrong > 0 || !invalid > 0 then exit 1;
+  if expect_pressure && !degraded + !rejected + !shed + !timed_out + !exhausted = 0
+  then begin
+    prerr_endline "expected governor pressure but every statement ran at full fidelity";
+    exit 1
+  end
+
+let overload_cmd =
+  let statements_t =
+    Arg.(value & opt int 32
+         & info [ "statements" ] ~docv:"N"
+           ~doc:"Number of concurrent statements to throw at the appliance.")
+  in
+  let expect_pressure_t =
+    Arg.(value & flag
+         & info [ "expect-pressure" ]
+           ~doc:"Exit nonzero unless at least one statement was degraded, rejected, \
+                 shed, timed out or exhausted (smoke-tests that the governor \
+                 actually engaged).")
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:"Storm the appliance with concurrent statements through the resource \
+             governor; every answered statement must return oracle rows.")
+    Term.(const overload $ nodes_t $ sf_t $ query_t $ statements_t $ jobs_t
+          $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t $ max_concurrent_t
+          $ queue_limit_t $ breaker_t $ expect_pressure_t)
 
 (* -- memo -- *)
 
@@ -382,8 +578,13 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group (Cmd.info "opdw_cli" ~doc)
-           [ explain_cmd; run_cmd; memo_cmd; check_cmd; queries_cmd ])
+           [ explain_cmd; run_cmd; overload_cmd; memo_cmd; check_cmd; queries_cmd ])
     with
+    | Governor.Gate.Rejected rj ->
+      Printf.eprintf
+        "statement rejected by admission control: %d running, %d queued (queue limit %d)\n"
+        rj.Governor.Gate.running rj.Governor.Gate.queued rj.Governor.Gate.queue_limit;
+      1
     | Check.Invalid vs ->
       Printf.eprintf "plan failed validation (%d violations):\n%s\n"
         (List.length vs) (Check.to_string vs);

@@ -31,6 +31,9 @@ type options = {
   seed_collocated : bool;
       (** §3.1: seed the MEMO with distribution-aware join orders, useful
           under a small exploration budget *)
+  governor : Governor.limits;
+      (** statement deadline / memo-size budget; {!Governor.no_limits} by
+          default. Part of the plan-cache fingerprint (v3). *)
 }
 
 let default_options ~node_count = {
@@ -39,7 +42,22 @@ let default_options ~node_count = {
   baseline = { Baseline.default_opts with Baseline.nodes = node_count };
   via_xml = true;
   seed_collocated = false;
+  governor = Governor.no_limits;
 }
+
+(** How a returned plan was degraded by governor pressure (the ladder:
+    cached → full → [Anytime] → [Fallback] → rejected). *)
+type degradation =
+  | Anytime
+      (** serial exploration was cut short (deadline/cancel/memo budget);
+          the plan is the best found in the truncated search space *)
+  | Fallback
+      (** the PDW enumeration itself was interrupted; the plan is the
+          greedily parallelized best serial plan ({!Baseline}) *)
+
+let degradation_to_string = function
+  | Anytime -> "anytime"
+  | Fallback -> "fallback"
 
 type result = {
   query : Sqlfront.Ast.query;
@@ -55,6 +73,9 @@ type result = {
       (** the plan-cache key this result was filed under (when a cache was
           given) — {!run} uses it to evict the entry if the appliance
           rejects the plan *)
+  degraded : degradation option;
+      (** [Some _] when governor pressure truncated optimization; degraded
+          plans still pass the {!Check} analyzer and are never cached *)
 }
 
 (** Everything downstream of normalization — the unit the plan cache
@@ -204,11 +225,15 @@ let algebrize_stage shell : (Sqlfront.Ast.query, Algebra.Algebrizer.result) Stag
 let normalize_stage reg shell : (Algebra.Relop.t, Algebra.Relop.t) Stage.t =
   Stage.v ~name:"normalize" (fun obs t -> Algebra.Normalize.normalize ~obs reg shell t)
 
-(** [serial]: logical tree -> explored MEMO + best serial plan. *)
-let serial_stage opts seeds reg shell
+(** [serial]: logical tree -> explored MEMO + best serial plan. The token
+    and memo budget cut exploration anytime-style (a plan still comes
+    back, flagged [interrupted]). *)
+let serial_stage opts seeds token max_memo_groups reg shell
   : (Algebra.Relop.t, Serialopt.Optimizer.result) Stage.t =
   Stage.v ~name:"serial_optimize"
-    (fun obs t -> Serialopt.Optimizer.optimize ~obs ~opts ~seeds reg shell t)
+    (fun obs t ->
+       Serialopt.Optimizer.optimize ~obs ~opts ~seeds ~token ?max_memo_groups
+         reg shell t)
 
 (** [memo_xml]: MEMO -> (XML encoding, re-imported MEMO) — the paper's
     interchange between the SQL Server process and the PDW optimizer. *)
@@ -217,9 +242,12 @@ let memo_xml_stage shell : (Memo.t, string option * Memo.t) Stage.t =
       let xml = Memo.Memo_xml.export_string ~obs m in
       (Some xml, Memo.Memo_xml.import_string ~obs shell xml))
 
-(** [pdw]: imported MEMO -> distributed plan (Fig. 4, steps 01-09). *)
-let pdw_stage opts : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
-  Stage.v ~name:"pdw_optimize" (fun obs m -> Pdwopt.Optimizer.optimize ~obs ~opts m)
+(** [pdw]: imported MEMO -> distributed plan (Fig. 4, steps 01-09). A
+    token trip raises {!Governor.Cancelled} — the caller degrades to the
+    baseline fallback. *)
+let pdw_stage opts token : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
+  Stage.v ~name:"pdw_optimize"
+    (fun obs m -> Pdwopt.Optimizer.optimize ~obs ~opts ~token m)
 
 (** [dsql]: distributed plan -> DSQL steps (Fig. 4, steps 10-11). *)
 let dsql_stage reg : (Pdwopt.Pplan.t, Dsql.Generate.plan) Stage.t =
@@ -256,12 +284,27 @@ let baseline_stage opts reg shell
     [obs] context to collect the per-stage span tree and counters; pass a
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
-    ?(check = true) ?(live_nodes : int list option)
+    ?(check = true) ?(live_nodes : int list option) ?(token = Governor.none)
     (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
     | Some o -> o
     | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
+  in
+  (* Arm the per-statement compile deadline here (the single arming site:
+     [Governed] passes the knob through rather than arming the token
+     itself). A dead [Governor.none] token gets a live replacement so the
+     knob works for direct [optimize] callers too. *)
+  let token =
+    match opts.governor.Governor.deadline with
+    | None -> token
+    | Some d ->
+      let token =
+        if token == Governor.none then Governor.create () else token
+      in
+      Governor.add_deadline token ~clock:Governor.wall_clock
+        ~deadline:(Governor.wall_clock () +. d);
+      token
   in
   Obs.with_span obs "pipeline" @@ fun () ->
   let query = Stage.run obs parse_stage sql in
@@ -293,7 +336,7 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
   in
   (* everything below normalization is a pure function of (normalized tree,
      knobs, statistics) — exactly what the plan-cache fingerprint keys on *)
-  let compile_tail () : compiled_tail =
+  let compile_tail () : compiled_tail * degradation option =
     let seeds =
       if opts.seed_collocated then
         match collocated_seed reg shell normalized with
@@ -301,50 +344,112 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
         | None -> []
       else []
     in
-    let serial = Stage.run obs (serial_stage opts.serial seeds reg shell) normalized in
+    let serial =
+      Stage.run obs
+        (serial_stage opts.serial seeds token opts.governor.Governor.max_memo_groups
+           reg shell)
+        normalized
+    in
     let memo_xml, memo =
       if opts.via_xml then
         Stage.run obs (memo_xml_stage shell) serial.Serialopt.Optimizer.memo
       else (None, serial.Serialopt.Optimizer.memo)
     in
-    let pdw = Stage.run obs (pdw_stage opts.pdw) memo in
-    let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
-    if check then
-      Stage.run obs
-        (check_stage shell opts.pdw memo.Memo.reg)
-        (pdw.Pdwopt.Optimizer.plan, dsql);
-    let baseline_plan =
-      Stage.run obs (baseline_stage opts.baseline reg shell)
-        serial.Serialopt.Optimizer.best
-    in
-    { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo; c_pdw = pdw;
-      c_dsql = dsql; c_baseline = baseline_plan }
+    match
+      let pdw = Stage.run obs (pdw_stage opts.pdw token) memo in
+      let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
+      if check then
+        Stage.run obs
+          (check_stage shell opts.pdw memo.Memo.reg)
+          (pdw.Pdwopt.Optimizer.plan, dsql);
+      (pdw, dsql)
+    with
+    | pdw, dsql ->
+      let baseline_plan =
+        Stage.run obs (baseline_stage opts.baseline reg shell)
+          serial.Serialopt.Optimizer.best
+      in
+      let degraded =
+        if serial.Serialopt.Optimizer.interrupted <> None then Some Anytime
+        else None
+      in
+      ( { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo; c_pdw = pdw;
+          c_dsql = dsql; c_baseline = baseline_plan },
+        degraded )
+    | exception (Governor.Cancelled _ as cancelled) ->
+      (* The PDW enumeration was interrupted: degrade to the §3.2 baseline
+         — the best serial plan parallelized greedily. The fallback runs
+         to completion even on an expired token (none of its stages poll),
+         so the degradation overhead is a bounded constant. *)
+      Obs.with_span obs "governor.fallback" @@ fun () ->
+      let baseline_plan =
+        Stage.run obs (baseline_stage opts.baseline reg shell)
+          serial.Serialopt.Optimizer.best
+      in
+      (match baseline_plan with
+       | None ->
+         (* nothing to degrade to: surface the cancellation itself *)
+         raise cancelled
+       | Some plan ->
+         let dsql = Stage.run obs (dsql_stage reg) plan in
+         (* a degraded plan must still prove itself: the check stage runs
+            unconditionally here, even when the caller disabled [check] *)
+         Stage.run obs (check_stage shell opts.pdw reg) (plan, dsql);
+         let body =
+           match plan.Pdwopt.Pplan.children with
+           | [ body ] -> body
+           | _ -> plan
+         in
+         let pdw =
+           { Pdwopt.Optimizer.plan;
+             options_at_root = [ (body.Pdwopt.Pplan.dist, body) ];
+             options = Hashtbl.create 1;
+             stats =
+               { Pdwopt.Enumerate.pdw_exprs_enumerated = 0; options_kept = 0;
+                 groups_processed = 0; enforcer_moves = 0 };
+             derived = Pdwopt.Derive.derive memo }
+         in
+         ( { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo;
+             c_pdw = pdw; c_dsql = dsql; c_baseline = baseline_plan },
+           Some Fallback ))
   in
-  let tail, fingerprint =
+  let tail, degraded, fingerprint =
     match cache with
-    | None -> (compile_tail (), None)
+    | None ->
+      let tail, degraded = compile_tail () in
+      (tail, degraded, None)
     | Some c ->
       let fp =
         Obs.with_span obs "plancache" @@ fun () ->
         Plancache.fingerprint ?live_nodes ~shell ~serial:opts.serial
           ~pdw:opts.pdw ~baseline:opts.baseline ~via_xml:opts.via_xml
-          ~seed_collocated:opts.seed_collocated normalized
+          ~seed_collocated:opts.seed_collocated ~governor:opts.governor
+          normalized
       in
       (match Plancache.find c fp with
        | Some tail ->
          Obs.add obs "plancache.hit" 1;
-         (tail, Some fp)
+         (tail, None, Some fp)
        | None ->
          Obs.add obs "plancache.miss" 1;
          (* [compile_tail] runs the check stage before this point, so an
             invalid plan raises and is never admitted to the cache *)
-         let tail = compile_tail () in
-         if Plancache.add c fp tail then Obs.add obs "plancache.evict" 1;
-         (tail, Some fp))
+         let tail, degraded = compile_tail () in
+         (match degraded with
+          | None ->
+            if Plancache.add c fp tail then Obs.add obs "plancache.evict" 1
+          | Some _ ->
+            (* never cache a degraded plan: a truncated-search result must
+               not be served to a caller with a full budget (or to this
+               caller again once pressure subsides) *)
+            ignore (Plancache.note_degraded c fp);
+            Obs.add obs "plancache.evictions_degraded" 1);
+         (tail, degraded, Some fp))
   in
+  if degraded <> None then Obs.add obs "governor.degraded" 1;
   { query; algebrized; normalized; serial = tail.c_serial;
     memo_xml = tail.c_memo_xml; memo = tail.c_memo; pdw = tail.c_pdw;
-    dsql = tail.c_dsql; baseline_plan = tail.c_baseline; fingerprint }
+    dsql = tail.c_dsql; baseline_plan = tail.c_baseline; fingerprint; degraded }
 
 (** The chosen distributed plan. *)
 let plan r = r.pdw.Pdwopt.Optimizer.plan
@@ -454,6 +559,145 @@ module Chaos = struct
         go (replans + 1)
     in
     go 0
+end
+
+module Governed = struct
+  (** The resource-governed statement driver: every statement passes
+      through admission control (bounded gate + FIFO queue), a
+      per-statement-fingerprint circuit breaker, a cancellation token
+      threaded through all three optimization layers and the engine, and
+      the anytime/baseline degradation ladder. The answer is always
+      structured — correct rows, a degraded-but-valid plan's correct rows,
+      or a typed refusal — never wrong rows, a panic, or a leaked slot. *)
+
+  type t = {
+    shell : Catalog.Shell_db.t;
+    app : Engine.Appliance.t;
+    options : options;
+    cache : cache option;
+    check : bool;
+    gate : Governor.Gate.t;
+    breaker : Governor.Breaker.t;
+    exec_mutex : Mutex.t;
+        (** the simulated appliance executes one statement at a time (its
+            clock and storage are statement-scoped); the gate bounds how
+            many statements are in flight (compiling + waiting to run) *)
+  }
+
+  let create ?cache ?options ?(check = true) ?(max_concurrent = 4)
+      ?(queue_limit = 16) ?(breaker_threshold = 3) ?(breaker_cooldown = 1.0)
+      (shell : Catalog.Shell_db.t) (app : Engine.Appliance.t) : t =
+    let options =
+      match options with
+      | Some o -> o
+      | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
+    in
+    { shell; app; options; cache; check;
+      gate = Governor.Gate.create ~max_concurrent ~queue_limit ();
+      breaker =
+        (* cooldown charged to the simulated clock: deterministic, and a
+           poison query's quarantine scales with simulated work, not with
+           host wall time *)
+        Governor.Breaker.create ~threshold:breaker_threshold
+          ~cooldown:breaker_cooldown
+          ~clock:(fun () -> app.Engine.Appliance.account.Engine.Appliance.sim_time)
+          ();
+      exec_mutex = Mutex.create () }
+
+  let app t = t.app
+  let gate t = t.gate
+  let breaker t = t.breaker
+
+  (** Every way a governed statement can come back. Only [Returned]
+      carries rows; everything else is a structured refusal. *)
+  type outcome =
+    | Returned of result * Engine.Local.rset
+    | Rejected of Governor.Gate.rejection   (** admission queue overflow *)
+    | Shed of { retry_after : float }       (** circuit breaker open *)
+    | Timed_out of Governor.reason          (** deadline/cancel during execution *)
+    | Exhausted of { attempts : int; reason : string }  (** fault budget spent *)
+    | Invalid of string                     (** plan refused by {!Check} *)
+
+  let outcome_to_string = function
+    | Returned (r, rset) ->
+      Printf.sprintf "returned(%d rows%s)" (List.length rset.Engine.Local.rows)
+        (match r.degraded with
+         | Some d -> ", degraded=" ^ degradation_to_string d
+         | None -> "")
+    | Rejected rej ->
+      Printf.sprintf "rejected(running=%d,queued=%d,queue_limit=%d)"
+        rej.Governor.Gate.running rej.Governor.Gate.queued
+        rej.Governor.Gate.queue_limit
+    | Shed { retry_after } -> Printf.sprintf "shed(retry_after=%.3fs)" retry_after
+    | Timed_out reason ->
+      Printf.sprintf "timed_out(%s)" (Governor.reason_to_string reason)
+    | Exhausted { attempts; reason } ->
+      Printf.sprintf "exhausted(%s after %d attempts)" reason attempts
+    | Invalid msg -> Printf.sprintf "invalid(%s)" msg
+
+  let statement_key sql = String.lowercase_ascii (String.trim sql)
+
+  (** Optimize and execute one statement under full governance. Breaker
+      bookkeeping: hard failures ({!Fault.Exhausted}, {!Check.Invalid})
+      count against the statement's fingerprint; deadline trips do not —
+      a slow statement under a tight deadline is load, not poison. *)
+  let run ?(obs = Obs.null) (t : t) (sql : string) : outcome =
+    let key = statement_key sql in
+    let admitted =
+      Governor.Gate.try_admit ~obs t.gate @@ fun () ->
+      match Governor.Breaker.check ~obs t.breaker key with
+      | `Shed retry_after -> Shed { retry_after }
+      | `Proceed ->
+        let token = Governor.create () in
+        try
+          let r =
+            optimize ~obs ~options:t.options ?cache:t.cache ~check:t.check
+              ~live_nodes:(Engine.Appliance.live_nodes t.app) ~token t.shell sql
+          in
+          (* compilation can overlap across gate slots; execution of the
+             shared appliance is one statement at a time *)
+          Mutex.lock t.exec_mutex;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.exec_mutex)
+            (fun () ->
+               (match t.options.governor.Governor.sim_deadline with
+                | Some d ->
+                  let sim () =
+                    t.app.Engine.Appliance.account.Engine.Appliance.sim_time
+                  in
+                  Governor.add_deadline token ~clock:sim ~deadline:(sim () +. d)
+                | None -> ());
+               Engine.Appliance.set_token t.app token;
+               Fun.protect
+                 ~finally:(fun () ->
+                     Engine.Appliance.set_token t.app Governor.none)
+                 (fun () ->
+                    let rows = execute_result ~obs ?cache:t.cache t.app r in
+                    Governor.Breaker.success t.breaker key;
+                    Returned (r, rows)))
+        with
+        | Governor.Cancelled { reason; _ } -> Timed_out reason
+        | Fault.Exhausted { failure; attempts } ->
+          Governor.Breaker.failure ~obs t.breaker key;
+          Exhausted { attempts; reason = Fault.failure_to_string failure }
+        | Check.Invalid vs ->
+          Governor.Breaker.failure ~obs t.breaker key;
+          Invalid (Check.to_string vs)
+    in
+    match admitted with
+    | Ok outcome -> outcome
+    | Error rej -> Rejected rej
+
+  (** The one shared per-iteration metric reset (CLI [--repeat], bench):
+      the appliance account (sim clock, DMS bytes, [fault.*] tallies —
+      PR 4's [assign_account] pattern) plus the gate and breaker counters,
+      so per-iteration [governor.*]/[fault.*] numbers are not cumulative.
+      Breaker open/closed states survive: quarantine is behavior, not a
+      metric. *)
+  let reset (t : t) =
+    Engine.Appliance.reset_account t.app;
+    Governor.Gate.reset_stats t.gate;
+    Governor.Breaker.reset_stats t.breaker
 end
 
 module Workload = struct

@@ -34,11 +34,29 @@ type options = {
   seed_collocated : bool;
       (** §3.1: seed the MEMO with distribution-aware join orders, useful
           under a small exploration budget *)
+  governor : Governor.limits;
+      (** statement deadline (wall seconds), execution deadline (simulated
+          seconds, interpreted by {!Governed}), and memo-size budget;
+          {!Governor.no_limits} by default. Part of the plan-cache
+          fingerprint (v3). *)
 }
 
 (** Defaults for an appliance with [node_count] compute nodes: full
-    exploration budget, XML interchange on, pruning on, no seeding. *)
+    exploration budget, XML interchange on, pruning on, no seeding, no
+    governor limits. *)
 val default_options : node_count:int -> options
+
+(** How a returned plan was degraded by governor pressure. The ladder is
+    cached → full → [Anytime] → [Fallback] → rejected: [Anytime] plans are
+    the best found in a truncated serial search; [Fallback] plans are the
+    §3.2 baseline (best serial plan, greedily parallelized) produced when
+    the PDW enumeration itself was interrupted. Either way the plan passed
+    the {!Check} analyzer (unconditionally — even when [check:false]) and
+    executes to correct rows; it is just potentially slower than the
+    full-search plan, and is never admitted to the plan cache. *)
+type degradation = Anytime | Fallback
+
+val degradation_to_string : degradation -> string
 
 (** Everything the pipeline produced, from AST to DSQL plan. *)
 type result = {
@@ -56,6 +74,9 @@ type result = {
       (** the plan-cache key this result was filed under (when [optimize]
           was given a cache) — {!run} evicts it if the appliance rejects
           the plan *)
+  degraded : degradation option;
+      (** [Some _] when governor pressure truncated optimization; degraded
+          plans still pass the {!Check} analyzer and are never cached *)
 }
 
 (** The compiled pipeline tail a plan-cache entry memoizes: everything
@@ -108,10 +129,19 @@ val cache : ?capacity:int -> unit -> cache
     [live_nodes] is the appliance's surviving-node set (original node
     ids, see {!Engine.Appliance.live_nodes}); it extends the plan-cache
     fingerprint so plans compiled before a node loss cannot be served
-    against the shrunken topology. Defaults to all nodes alive. *)
+    against the shrunken topology. Defaults to all nodes alive.
+
+    [token] threads cooperative cancellation through serial exploration
+    and the PDW enumeration. With [options.governor.deadline] set, a
+    wall-clock deadline is armed on it here (on a fresh token when the
+    caller passed none). A cut during serial search degrades the result
+    to [Anytime]; a cut during PDW enumeration degrades to the [Fallback]
+    baseline plan; if no fallback exists, {!Governor.Cancelled}
+    propagates. Degraded results are tagged in [degraded], validated by
+    {!Check} unconditionally, and never cached. *)
 val optimize :
   ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
-  ?live_nodes:int list ->
+  ?live_nodes:int list -> ?token:Governor.token ->
   Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
@@ -175,6 +205,61 @@ module Chaos : sig
       {!Fault.Exhausted} when a step's retry budget or the replan budget
       is exceeded — never returns wrong rows. *)
   val run : ?obs:Obs.t -> t -> string -> result * Engine.Local.rset
+end
+
+(** The resource-governed statement driver: admission control, statement
+    deadlines, cooperative cancellation, anytime/fallback degradation and
+    a per-statement circuit breaker in one loop. The contract: every call
+    returns a structured {!Governed.outcome} — correct rows, a
+    degraded-but-{!Check}-valid plan's correct rows, or a typed refusal —
+    never wrong rows, an exception leak, or a leaked gate slot. *)
+module Governed : sig
+  type t
+
+  (** [create ?cache ?options ?check ?max_concurrent ?queue_limit
+      ?breaker_threshold ?breaker_cooldown shell app] — at most
+      [max_concurrent] (default 4) statements in flight with up to
+      [queue_limit] (default 16) more queued FIFO; [breaker_threshold]
+      (default 3, [<= 0] disables) consecutive hard failures of one
+      statement fingerprint open its breaker for [breaker_cooldown]
+      (default 1.0) {e simulated} seconds. Deadlines/memo budgets come
+      from [options.governor]. *)
+  val create :
+    ?cache:cache -> ?options:options -> ?check:bool ->
+    ?max_concurrent:int -> ?queue_limit:int ->
+    ?breaker_threshold:int -> ?breaker_cooldown:float ->
+    Catalog.Shell_db.t -> Engine.Appliance.t -> t
+
+  val app : t -> Engine.Appliance.t
+  val gate : t -> Governor.Gate.t
+  val breaker : t -> Governor.Breaker.t
+
+  (** Every way a governed statement can come back; only [Returned]
+      carries rows. *)
+  type outcome =
+    | Returned of result * Engine.Local.rset
+    | Rejected of Governor.Gate.rejection   (** admission queue overflow *)
+    | Shed of { retry_after : float }       (** circuit breaker open *)
+    | Timed_out of Governor.reason          (** deadline/cancel during execution *)
+    | Exhausted of { attempts : int; reason : string }
+        (** a step's fault-retry budget was spent ({!Fault.Exhausted}) *)
+    | Invalid of string                     (** plan refused by {!Check} *)
+
+  val outcome_to_string : outcome -> string
+
+  (** Optimize and execute one statement under full governance. Safe to
+      call from several domains: compilation overlaps up to the gate
+      width, execution on the shared appliance is serialized. Parse and
+      binding errors (the caller's malformed SQL) propagate as the usual
+      exceptions; governor pressure and engine failures come back as
+      outcomes. Hard failures ([Exhausted]/[Invalid]) count against the
+      statement's breaker; deadline trips do not. *)
+  val run : ?obs:Obs.t -> t -> string -> outcome
+
+  (** The one shared per-iteration metric reset: appliance account
+      (sim clock + [fault.*] tallies) plus gate and breaker counters.
+      Breaker open/closed states survive. *)
+  val reset : t -> unit
 end
 
 (** Batteries-included workload setup. *)

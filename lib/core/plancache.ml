@@ -36,6 +36,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable evictions_invalid : int;
+  mutable evictions_degraded : int;
 }
 
 type stats = {
@@ -47,11 +48,16 @@ type stats = {
   evictions_invalid : int;
       (** entries evicted because their plan was rejected downstream
           (by {!Check} or the appliance), not for capacity *)
+  evictions_degraded : int;
+      (** compilations refused admission (and any same-key entry dropped)
+          because governor pressure degraded their plan — an
+          anytime/fallback plan must never be served from the cache *)
 }
 
 let create ?(capacity = 128) () =
   { capacity = max 1 capacity; table = Hashtbl.create 64; mutex = Mutex.create ();
-    tick = 0; hits = 0; misses = 0; evictions = 0; evictions_invalid = 0 }
+    tick = 0; hits = 0; misses = 0; evictions = 0; evictions_invalid = 0;
+    evictions_degraded = 0 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -116,11 +122,26 @@ let remove_invalid t key =
   end
   else false
 
+(** [note_degraded t key] records that the compilation filed under [key]
+    came back degraded (anytime/fallback): the result is not admitted, and
+    any entry already under the key is dropped (it may predate the
+    pressure but the safe move is to recompile). Returns [true] when an
+    entry was actually removed. *)
+let note_degraded t key =
+  with_lock t @@ fun () ->
+  t.evictions_degraded <- t.evictions_degraded + 1;
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    true
+  end
+  else false
+
 let stats t =
   with_lock t @@ fun () ->
   { size = Hashtbl.length t.table; capacity = t.capacity; hits = t.hits;
     misses = t.misses; evictions = t.evictions;
-    evictions_invalid = t.evictions_invalid }
+    evictions_invalid = t.evictions_invalid;
+    evictions_degraded = t.evictions_degraded }
 
 let clear t =
   with_lock t @@ fun () ->
@@ -189,8 +210,13 @@ let hint (t, h) =
     appliance's surviving-node set (original node ids) — after a node loss
     the topology differs even at an equal node count's worth of knobs, so
     plans compiled for the old topology must miss, not hit (v2 of the
-    key). Defaults to all of [shell]'s nodes alive. *)
-let fingerprint ?live_nodes ~(shell : Catalog.Shell_db.t)
+    key). Defaults to all of [shell]'s nodes alive. [governor] carries the
+    statement deadline / memo-budget knobs (v3): a plan compiled under a
+    tight budget explores a different space than a full-budget one, so the
+    two must never alias — even though degraded results are additionally
+    refused admission outright (see {!note_degraded}). *)
+let fingerprint ?live_nodes ?(governor = Governor.no_limits)
+    ~(shell : Catalog.Shell_db.t)
     ~(serial : Serialopt.Optimizer.options) ~(pdw : Pdwopt.Enumerate.opts)
     ~(baseline : Baseline.opts) ~(via_xml : bool) ~(seed_collocated : bool)
     (normalized : Algebra.Relop.t) : string =
@@ -199,8 +225,10 @@ let fingerprint ?live_nodes ~(shell : Catalog.Shell_db.t)
     | Some l -> l
     | None -> List.init (Catalog.Shell_db.node_count shell) Fun.id
   in
+  let fopt = function None -> "-" | Some f -> Printf.sprintf "%h" f in
+  let iopt = function None -> "-" | Some i -> string_of_int i in
   String.concat "|"
-    [ Printf.sprintf "v2;nodes=%d;live=%s;stats=%d"
+    [ Printf.sprintf "v3;nodes=%d;live=%s;stats=%d"
         (Catalog.Shell_db.node_count shell)
         (String.concat "," (List.map string_of_int live))
         (Catalog.Shell_db.stats_version shell);
@@ -215,4 +243,8 @@ let fingerprint ?live_nodes ~(shell : Catalog.Shell_db.t)
       Printf.sprintf "base=%d,%s" baseline.Baseline.nodes
         (lambdas baseline.Baseline.lambdas);
       Printf.sprintf "xml=%b;seed=%b" via_xml seed_collocated;
+      Printf.sprintf "gov=%s,%s,%s"
+        (fopt governor.Governor.deadline)
+        (fopt governor.Governor.sim_deadline)
+        (iopt governor.Governor.max_memo_groups);
       tree normalized ]

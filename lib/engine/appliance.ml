@@ -123,6 +123,11 @@ type t = {
           plan-traversal order); reset by {!begin_statement} *)
   mutable cur_step : int;     (** step id the recovery wrapper is executing *)
   mutable cur_attempt : int;  (** execution attempt of that step (0 = first) *)
+  mutable token : Governor.token;
+      (** statement cancellation token, polled once per injectable step in
+          the caller domain (never inside the pool fan-out, so the
+          simulated clock stays bit-identical at any [--jobs]);
+          {!Governor.none} by default *)
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
@@ -132,7 +137,7 @@ let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
     account = fresh_account (); obs; pool; check;
     fault = Fault.none; epoch = 0; live = List.init nodes Fun.id;
-    step_no = 0; cur_step = 0; cur_attempt = 0 }
+    step_no = 0; cur_step = 0; cur_attempt = 0; token = Governor.none }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
@@ -146,6 +151,11 @@ let set_check t check = t.check <- check
 
 (** Attach a fault-injection plan ({!Fault.none} disables injection). *)
 let set_fault t fault = t.fault <- fault
+
+(** Attach a statement cancellation token ({!Governor.none} disables
+    polling). The caller is responsible for resetting it to
+    {!Governor.none} when the statement finishes. *)
+let set_token t token = t.token <- token
 
 (** Original node ids still alive (current node index -> original id). *)
 let live_nodes t = t.live
@@ -242,6 +252,12 @@ let inject_point (t : t) (site : Fault.site) =
     {!Fault.Node_crash} is not retryable here: it propagates to the caller
     (the statement must be re-optimized against the surviving nodes). *)
 let with_recovery ?(on_retry = fun () -> ()) (t : t) (f : unit -> 'a) : 'a =
+  (* Cooperative cancellation at step granularity, in the caller domain
+     only (sim_time is read/updated here, never in pool workers, so a
+     simulated-clock deadline trips at the same step at any --jobs).
+     Raising between steps is safe: executor temp state unwinds with the
+     exception and half-written temps are dropped with it. *)
+  Governor.poll ~where:"engine.step" t.token;
   let step = t.step_no in
   t.step_no <- step + 1;
   if not (fault_active t) then begin
@@ -703,6 +719,7 @@ let decommission (t : t) ~(node : int) : t =
     tables;
   let t' = create ~hw:t.hw ~obs:t.obs ~pool:t.pool ~check:t.check shell' in
   t'.fault <- t.fault;
+  t'.token <- t.token;
   t'.epoch <- t.epoch + 1;
   t'.live <- List.filteri (fun i _ -> i <> node) t.live;
   (* reload user data; the re-partition of every hash-distributed table is

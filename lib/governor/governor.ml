@@ -1,0 +1,368 @@
+type reason = Deadline | Cancel | Memo_budget
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Cancel -> "cancel"
+  | Memo_budget -> "memo_budget"
+
+exception Cancelled of { reason : reason; where : string }
+
+(* A token is shared across domains (the statement's caller arms it, pool
+   workers could observe it), so the flag and deadline list are mutated
+   only under [mu]. Reads in [state] take the mutex too: polls happen at
+   task granularity (per rule / per group / per step), so the cost is
+   noise next to the work between polls. *)
+type token = {
+  live : bool;
+  mu : Mutex.t;
+  mutable cancelled : bool;
+  mutable deadlines : (float * (unit -> float)) list;
+}
+
+let none = { live = false; mu = Mutex.create (); cancelled = false; deadlines = [] }
+
+let create () =
+  { live = true; mu = Mutex.create (); cancelled = false; deadlines = [] }
+
+let wall_clock = Obs.default_clock
+
+let add_deadline t ~clock ~deadline =
+  if t.live then begin
+    Mutex.lock t.mu;
+    t.deadlines <- (deadline, clock) :: t.deadlines;
+    Mutex.unlock t.mu
+  end
+
+let cancel t =
+  if t.live then begin
+    Mutex.lock t.mu;
+    t.cancelled <- true;
+    Mutex.unlock t.mu
+  end
+
+let state t =
+  if not t.live then None
+  else begin
+    Mutex.lock t.mu;
+    let r =
+      if t.cancelled then Some Cancel
+      else if List.exists (fun (d, clock) -> clock () >= d) t.deadlines then
+        Some Deadline
+      else None
+    in
+    Mutex.unlock t.mu;
+    r
+  end
+
+let should_stop t = state t <> None
+
+let poll ?(where = "governor") t =
+  match state t with
+  | None -> ()
+  | Some reason -> raise (Cancelled { reason; where })
+
+type limits = {
+  deadline : float option;
+  sim_deadline : float option;
+  max_memo_groups : int option;
+}
+
+let no_limits = { deadline = None; sim_deadline = None; max_memo_groups = None }
+
+module Gate = struct
+  type rejection = { running : int; queued : int; queue_limit : int }
+
+  exception Rejected of rejection
+
+  type stats = {
+    admitted : int;
+    queued_total : int;
+    rejected : int;
+    peak_running : int;
+  }
+
+  type t = {
+    mu : Mutex.t;
+    cond : Condition.t;
+    max_concurrent : int;
+    queue_limit : int;
+    mutable running : int;
+    mutable waiting : int;
+    (* FIFO by ticket number: waiters draw [next_ticket] and run when
+       [serving] reaches their ticket, so release order matches arrival
+       order regardless of which domain the condition wakes first. *)
+    mutable next_ticket : int;
+    mutable serving : int;
+    mutable admitted : int;
+    mutable queued_total : int;
+    mutable rejected : int;
+    mutable peak_running : int;
+  }
+
+  let create ?(max_concurrent = 4) ?(queue_limit = 16) () =
+    if max_concurrent < 1 then invalid_arg "Governor.Gate.create: max_concurrent < 1";
+    if queue_limit < 0 then invalid_arg "Governor.Gate.create: queue_limit < 0";
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      max_concurrent;
+      queue_limit;
+      running = 0;
+      waiting = 0;
+      next_ticket = 0;
+      serving = 0;
+      admitted = 0;
+      queued_total = 0;
+      rejected = 0;
+      peak_running = 0;
+    }
+
+  let note_running_locked t =
+    t.running <- t.running + 1;
+    t.admitted <- t.admitted + 1;
+    if t.running > t.peak_running then t.peak_running <- t.running
+
+  (* Returns [Ok had_to_wait] holding a slot, or the structured overflow. *)
+  let acquire t =
+    Mutex.lock t.mu;
+    if t.running < t.max_concurrent && t.waiting = 0 then begin
+      note_running_locked t;
+      Mutex.unlock t.mu;
+      Ok false
+    end
+    else if t.waiting >= t.queue_limit then begin
+      let r =
+        { running = t.running; queued = t.waiting; queue_limit = t.queue_limit }
+      in
+      t.rejected <- t.rejected + 1;
+      Mutex.unlock t.mu;
+      Error r
+    end
+    else begin
+      let ticket = t.next_ticket in
+      t.next_ticket <- ticket + 1;
+      t.waiting <- t.waiting + 1;
+      t.queued_total <- t.queued_total + 1;
+      while not (t.serving = ticket && t.running < t.max_concurrent) do
+        Condition.wait t.cond t.mu
+      done;
+      t.serving <- ticket + 1;
+      t.waiting <- t.waiting - 1;
+      note_running_locked t;
+      (* The next ticket in line may also fit if more slots are free. *)
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      Ok true
+    end
+
+  let release t =
+    Mutex.lock t.mu;
+    t.running <- t.running - 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu
+
+  let try_admit ?(obs = Obs.null) t f =
+    let acquired =
+      if Obs.enabled obs then
+        Obs.with_span obs "governor.wait" (fun () -> acquire t)
+      else acquire t
+    in
+    match acquired with
+    | Error r ->
+      Obs.add obs "governor.rejected" 1;
+      Error r
+    | Ok waited ->
+      Obs.add obs "governor.admitted" 1;
+      if waited then Obs.add obs "governor.queue_waits" 1;
+      Ok (Fun.protect ~finally:(fun () -> release t) f)
+
+  let admit ?obs t f =
+    match try_admit ?obs t f with
+    | Ok v -> v
+    | Error r -> raise (Rejected r)
+
+  let with_locked t f =
+    Mutex.lock t.mu;
+    let v = f () in
+    Mutex.unlock t.mu;
+    v
+
+  let running t = with_locked t (fun () -> t.running)
+  let queued t = with_locked t (fun () -> t.waiting)
+  let max_concurrent t = t.max_concurrent
+  let queue_limit t = t.queue_limit
+
+  let stats t =
+    with_locked t (fun () ->
+        {
+          admitted = t.admitted;
+          queued_total = t.queued_total;
+          rejected = t.rejected;
+          peak_running = t.peak_running;
+        })
+
+  let reset_stats t =
+    with_locked t (fun () ->
+        t.admitted <- 0;
+        t.queued_total <- 0;
+        t.rejected <- 0;
+        t.peak_running <- t.running)
+end
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type stats = { trips : int; shed : int; probes : int; closes : int }
+
+  type entry = {
+    mutable st : state;
+    mutable until : float;       (* cooldown end, meaningful when [Open] *)
+    mutable failures : int;      (* consecutive failure streak when [Closed] *)
+  }
+
+  type t = {
+    mu : Mutex.t;
+    threshold : int;
+    cooldown : float;
+    clock : unit -> float;
+    entries : (string, entry) Hashtbl.t;
+    mutable trips : int;
+    mutable shed : int;
+    mutable probes : int;
+    mutable closes : int;
+  }
+
+  let create ?(threshold = 3) ?(cooldown = 1.0) ~clock () =
+    {
+      mu = Mutex.create ();
+      threshold;
+      cooldown;
+      clock;
+      entries = Hashtbl.create 16;
+      trips = 0;
+      shed = 0;
+      probes = 0;
+      closes = 0;
+    }
+
+  let enabled t = t.threshold > 0
+
+  let entry_locked t key =
+    match Hashtbl.find_opt t.entries key with
+    | Some e -> e
+    | None ->
+      let e = { st = Closed; until = 0.; failures = 0 } in
+      Hashtbl.replace t.entries key e;
+      e
+
+  let check ?(obs = Obs.null) t key =
+    if not (enabled t) then `Proceed
+    else begin
+      Mutex.lock t.mu;
+      let verdict =
+        match Hashtbl.find_opt t.entries key with
+        | None -> `Proceed
+        | Some e -> (
+          match e.st with
+          | Closed -> `Proceed
+          | Open ->
+            let now = t.clock () in
+            if now >= e.until then begin
+              e.st <- Half_open;
+              t.probes <- t.probes + 1;
+              `Probe
+            end
+            else begin
+              t.shed <- t.shed + 1;
+              `Shed (e.until -. now)
+            end
+          | Half_open ->
+            (* Another probe is already in flight; shed without a wait
+               estimate. *)
+            t.shed <- t.shed + 1;
+            `Shed 0.)
+      in
+      Mutex.unlock t.mu;
+      match verdict with
+      | `Probe ->
+        Obs.add obs "governor.breaker_probes" 1;
+        `Proceed
+      | `Shed remaining ->
+        Obs.add obs "governor.shed" 1;
+        `Shed remaining
+      | `Proceed -> `Proceed
+    end
+
+  let success t key =
+    if enabled t then begin
+      Mutex.lock t.mu;
+      (match Hashtbl.find_opt t.entries key with
+      | None -> ()
+      | Some e ->
+        if e.st = Half_open then t.closes <- t.closes + 1;
+        e.st <- Closed;
+        e.failures <- 0);
+      Mutex.unlock t.mu
+    end
+
+  let failure ?(obs = Obs.null) t key =
+    if enabled t then begin
+      Mutex.lock t.mu;
+      let e = entry_locked t key in
+      let tripped =
+        match e.st with
+        | Half_open ->
+          (* Failed probe: straight back to cooldown. *)
+          e.st <- Open;
+          e.until <- t.clock () +. t.cooldown;
+          e.failures <- 0;
+          true
+        | Closed ->
+          e.failures <- e.failures + 1;
+          if e.failures >= t.threshold then begin
+            e.st <- Open;
+            e.until <- t.clock () +. t.cooldown;
+            e.failures <- 0;
+            true
+          end
+          else false
+        | Open -> false
+      in
+      if tripped then t.trips <- t.trips + 1;
+      Mutex.unlock t.mu;
+      if tripped then Obs.add obs "governor.breaker_trips" 1
+    end
+
+  let state t key =
+    Mutex.lock t.mu;
+    let st =
+      match Hashtbl.find_opt t.entries key with
+      | None -> Closed
+      | Some e -> e.st
+    in
+    Mutex.unlock t.mu;
+    st
+
+  let stats t =
+    Mutex.lock t.mu;
+    let s = { trips = t.trips; shed = t.shed; probes = t.probes; closes = t.closes } in
+    Mutex.unlock t.mu;
+    s
+
+  let reset_stats t =
+    Mutex.lock t.mu;
+    t.trips <- 0;
+    t.shed <- 0;
+    t.probes <- 0;
+    t.closes <- 0;
+    Mutex.unlock t.mu
+
+  let reset t =
+    Mutex.lock t.mu;
+    Hashtbl.reset t.entries;
+    t.trips <- 0;
+    t.shed <- 0;
+    t.probes <- 0;
+    t.closes <- 0;
+    Mutex.unlock t.mu
+end

@@ -1,0 +1,187 @@
+(** Resource governor: admission control, statement deadlines, cooperative
+    cancellation, and circuit breaking for the statement pipeline.
+
+    The north-star workload is heavy concurrent traffic; without
+    governance a single pathological statement can monopolize the
+    optimizer or the appliance with no deadline and no backpressure. The
+    paper itself bounds optimization work (the task budget of §3.1); this
+    module generalizes that idea to the whole statement lifecycle:
+
+    - {!type:token} — a per-statement cancellation token carrying an
+      explicit cancel flag plus any number of deadlines, each measured
+      against its own clock (wall clock for compile time, the appliance's
+      simulated clock for execution time). Work sites call the cheap
+      {!poll} ({!should_stop} for non-raising callers) at task
+      granularity: per transformation rule in the serial optimizer, per
+      group in the PDW enumeration, per injectable step in the engine.
+    - {!Gate} — a bounded concurrent-statement gate with a FIFO wait
+      queue; overflow is reported as a structured {!Gate.rejection},
+      never an unexplained exception, and the slot release is
+      bracket-style on every exit path.
+    - {!Breaker} — a per-statement-fingerprint circuit breaker:
+      consecutive hard failures open it, a cooldown (charged to whatever
+      clock the caller supplies — the simulated clock in the appliance)
+      half-opens it for a single probe.
+
+    Everything here is layering-neutral (depends only on {!Obs}) so the
+    token can thread through [Serialopt], [Pdwopt] and [Engine] without
+    dependency cycles. The degradation ladder built on top of these
+    pieces (cached → full → anytime → baseline → rejected) lives in
+    [Opdw]. *)
+
+(** Why a statement was interrupted. [Memo_budget] is set by the serial
+    optimizer when the memo-size budget (not the token) trips. *)
+type reason = Deadline | Cancel | Memo_budget
+
+val reason_to_string : reason -> string
+
+(** Raised by {!poll} (and by the work sites that call it) when the
+    token's deadline passed or it was cancelled. [where] names the site
+    for diagnostics (e.g. ["pdw.enumerate"], ["engine.step"]). *)
+exception Cancelled of { reason : reason; where : string }
+
+(** A cancellation token: one per statement, shared by every layer
+    working on that statement. *)
+type token
+
+(** The inert token: never cancelled, no deadlines, {!poll} is a no-op.
+    Layers default to it so ungoverned callers pay (almost) nothing. *)
+val none : token
+
+(** A fresh live token with no deadlines. *)
+val create : unit -> token
+
+(** The wall clock (seconds); the default clock for compile-time
+    deadlines. *)
+val wall_clock : unit -> float
+
+(** [add_deadline t ~clock ~deadline] arms a deadline: the token trips
+    once [clock () >= deadline]. A token may carry several deadlines on
+    different clocks (wall clock for optimization, the appliance's
+    simulated clock for execution). No-op on {!none}. *)
+val add_deadline : token -> clock:(unit -> float) -> deadline:float -> unit
+
+(** Cooperatively cancel the statement; takes effect at the next poll.
+    No-op on {!none}. *)
+val cancel : token -> unit
+
+(** Why the token is tripped, or [None]. Cheap: a flag read plus one
+    clock call per armed deadline. Deterministic whenever every armed
+    clock is (e.g. the simulated clock). *)
+val state : token -> reason option
+
+(** Non-raising poll for anytime call sites (the serial optimizer stops
+    exploring and keeps the memo consistent rather than unwinding). *)
+val should_stop : token -> bool
+
+(** Raising poll for call sites that unwind ({!Cancelled}); the PDW
+    enumeration and the engine's step wrapper use it. Never corrupts
+    shared state by construction: it is called {e between} tasks. *)
+val poll : ?where:string -> token -> unit
+
+(** Per-statement governor knobs, carried in [Opdw.options] and part of
+    the plan-cache fingerprint (v3): plans compiled under different
+    budgets must not alias. *)
+type limits = {
+  deadline : float option;      (** wall-clock seconds per statement *)
+  sim_deadline : float option;  (** simulated-clock seconds per execution *)
+  max_memo_groups : int option; (** memo-size budget for serial exploration *)
+}
+
+(** No deadline, no memo budget. *)
+val no_limits : limits
+
+(** Bounded concurrent-statement gate with a FIFO wait queue. *)
+module Gate : sig
+  type t
+
+  (** The structured overflow answer: the gate's occupancy at rejection
+      time. *)
+  type rejection = { running : int; queued : int; queue_limit : int }
+
+  exception Rejected of rejection
+
+  (** Monotonic counters (reset via {!reset_stats}). [queued_total]
+      counts admissions that had to wait; [peak_running] never exceeds
+      [max_concurrent] (the leak test's invariant). *)
+  type stats = {
+    admitted : int;
+    queued_total : int;
+    rejected : int;
+    peak_running : int;
+  }
+
+  (** [create ~max_concurrent ~queue_limit ()] — at most
+      [max_concurrent] statements run at once; up to [queue_limit] more
+      wait in FIFO order; beyond that, admission is rejected. *)
+  val create : ?max_concurrent:int -> ?queue_limit:int -> unit -> t
+
+  (** [admit t f] runs [f ()] holding one slot, waiting in FIFO order if
+      the gate is full. The slot is released whether [f] returns or
+      raises (bracket-style). Raises {!Rejected} when the wait queue is
+      full. Reports [governor.admitted] / [governor.queue_waits] /
+      [governor.rejected] into [obs]; the wait runs under a
+      [governor.wait] span. *)
+  val admit : ?obs:Obs.t -> t -> (unit -> 'a) -> 'a
+
+  (** Like {!admit} but returns the overflow as a value. [f]'s own
+      exceptions still propagate (with the slot released). *)
+  val try_admit : ?obs:Obs.t -> t -> (unit -> 'a) -> ('a, rejection) result
+
+  val running : t -> int
+  val queued : t -> int
+  val max_concurrent : t -> int
+  val queue_limit : t -> int
+  val stats : t -> stats
+
+  (** Zero the counters (not the occupancy) — the per-iteration metric
+      reset shared by the CLI's [--repeat] and the bench harness. *)
+  val reset_stats : t -> unit
+end
+
+(** Per-key (statement fingerprint) circuit breaker. *)
+module Breaker : sig
+  type t
+
+  type state = Closed | Open | Half_open
+
+  type stats = {
+    trips : int;       (** transitions to [Open] *)
+    shed : int;        (** checks answered [`Shed] *)
+    probes : int;      (** half-open probes admitted *)
+    closes : int;      (** probe successes that re-closed the breaker *)
+  }
+
+  (** [create ~threshold ~cooldown ~clock ()] — [threshold] consecutive
+      {!failure}s on one key open the breaker for [cooldown] seconds of
+      [clock] (the appliance passes its simulated clock, so the cooldown
+      is charged to simulated time and is deterministic). A [threshold]
+      of 0 or less disables the breaker: {!check} always proceeds. *)
+  val create : ?threshold:int -> ?cooldown:float -> clock:(unit -> float) -> unit -> t
+
+  (** Consult the breaker before running [key]. [`Shed remaining] means
+      the breaker is open ([remaining] seconds of cooldown left, [0.]
+      when another probe is already in flight). After the cooldown one
+      caller gets [`Proceed] as the half-open probe; its
+      {!success}/{!failure} closes or re-opens the breaker. Reports
+      [governor.shed] / [governor.breaker_probes] into [obs]. *)
+  val check : ?obs:Obs.t -> t -> string -> [ `Proceed | `Shed of float ]
+
+  (** The statement keyed [key] completed (resets the failure streak;
+      closes a half-open breaker). *)
+  val success : t -> string -> unit
+
+  (** The statement keyed [key] failed hard ([Fault.Exhausted] or a
+      {!Check} rejection — deadline trips are not breaker failures).
+      Reports [governor.breaker_trips] when this opens the breaker. *)
+  val failure : ?obs:Obs.t -> t -> string -> unit
+
+  val state : t -> string -> state
+  val stats : t -> stats
+
+  (** Zero the counters, keeping per-key breaker states. *)
+  val reset_stats : t -> unit
+
+  (** Forget every key and zero the counters. *)
+  val reset : t -> unit
+end

@@ -39,6 +39,11 @@ val null : t
     [sink] defaults to dropping events (the span tree is still built). *)
 val create : ?clock:(unit -> float) -> ?sink:sink -> unit -> t
 
+(** The default wall clock (seconds since the epoch) used by {!create};
+    exported so other layers (e.g. governor deadlines) measure time the
+    same way spans do. *)
+val default_clock : unit -> float
+
 val enabled : t -> bool
 
 (** [with_span t name f] runs [f] inside a child span [name] of the current

@@ -52,14 +52,16 @@ type ctx = {
   table : (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t;
   in_progress : (int, unit) Hashtbl.t;
   stats : stats;
+  token : Governor.token;
 }
 
-let create_ctx m derived o =
+let create_ctx ?(token = Governor.none) m derived o =
   { m; derived; o;
     table = Hashtbl.create 64;
     in_progress = Hashtbl.create 8;
     stats = { pdw_exprs_enumerated = 0; options_kept = 0; groups_processed = 0;
-              enforcer_moves = 0 } }
+              enforcer_moves = 0 };
+    token }
 
 let options_table ctx = ctx.table
 let stats_of ctx = ctx.stats
@@ -181,6 +183,11 @@ let scan_dist ctx (table : string) (cols : int array) : Dms.Distprop.t =
        Dms.Distprop.Hashed ids)
 
 let rec optimize_group ctx gid : (Dms.Distprop.t * Pplan.t) list =
+  (* Raising poll at group granularity. Unwinding abandons this ctx (the
+     option table may hold in_progress guards from interrupted parents);
+     callers always build a fresh ctx per optimize call, so nothing
+     shared is corrupted. *)
+  Governor.poll ~where:"pdw.enumerate" ctx.token;
   let gid = Memo.find ctx.m gid in
   match Hashtbl.find_opt ctx.table gid with
   | Some opts -> opts

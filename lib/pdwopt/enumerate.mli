@@ -41,7 +41,9 @@ type stats = {
     of Fig. 3c) plus counters. Opaque outside {!Optimizer}. *)
 type ctx
 
-val create_ctx : Memo.t -> Derive.t -> opts -> ctx
+(** [token] is polled (raising {!Governor.Cancelled}) at each group visit;
+    an interrupted ctx must be discarded, not resumed. *)
+val create_ctx : ?token:Governor.token -> Memo.t -> Derive.t -> opts -> ctx
 
 (** The per-group kept options (augmented MEMO), for inspection. *)
 val options_table : ctx -> (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t

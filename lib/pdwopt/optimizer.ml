@@ -113,13 +113,14 @@ let report_obs obs (ctx : Enumerate.ctx) (derived : Derive.t) (m : Memo.t)
   end
 
 (** Run steps 01-09 over an (imported) MEMO and return the chosen plan. *)
-let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts) (m : Memo.t) : result =
+let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts)
+    ?(token = Governor.none) (m : Memo.t) : result =
   (* 02-03: preprocessing *)
   preprocess_merge m;
   (* 04: top-down property derivation *)
   let derived = Derive.derive m in
   (* 05-07: bottom-up enumeration *)
-  let ctx = Enumerate.create_ctx m derived opts in
+  let ctx = Enumerate.create_ctx ~token m derived opts in
   let root = Memo.root m in
   let options = Enumerate.optimize_group ctx root in
   if options = [] then raise (No_plan "no distributed plan found for the root group");

@@ -15,5 +15,9 @@ exception No_plan of string
 (** Run steps 01-09 over an (imported) MEMO and return the chosen plan.
     With [obs], reports the [pdw.*] counters: groups processed, PDW exprs
     enumerated vs. pruned, enforcer moves added, interesting-property map
-    sizes, and the chosen plan's per-DMS-op modelled movement volumes. *)
-val optimize : ?obs:Obs.t -> ?opts:Enumerate.opts -> Memo.t -> result
+    sizes, and the chosen plan's per-DMS-op modelled movement volumes.
+    [token] is polled per group; a trip raises {!Governor.Cancelled}
+    (the bottom-up enumeration has no partial answer worth keeping — the
+    anytime fallback lives one layer up, in [Opdw]). *)
+val optimize :
+  ?obs:Obs.t -> ?opts:Enumerate.opts -> ?token:Governor.token -> Memo.t -> result

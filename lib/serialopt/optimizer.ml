@@ -25,7 +25,10 @@ type result = {
   memo : Memo.t;
   best : Plan.t option;      (** best serial plan *)
   tasks_used : int;
-  budget_exhausted : bool;
+  budget_exhausted : bool;   (** the ordinary task budget (§3.1 timeout) *)
+  interrupted : Governor.reason option;
+      (** a governor deadline/cancel or memo-size budget cut exploration
+          short; the plan is anytime best-so-far and must not be cached *)
 }
 
 (* -- exploration -- *)
@@ -62,9 +65,23 @@ let gexpr_key (m : Memo.t) (e : gexpr) : string =
     (String.concat ","
        (List.map (fun c -> string_of_int (Memo.find m c)) (Array.to_list e.children)))
 
-let explore (m : Memo.t) ~budget : int * bool =
+let explore (m : Memo.t) ~budget ~(token : Governor.token) ~max_memo_groups :
+    int * bool * Governor.reason option =
   let tasks = ref 0 in
   let exhausted = ref false in
+  let interrupted = ref None in
+  (* Anytime cut: a tripped token or a memo-size budget stops exploration
+     between rule applications — the MEMO stays consistent, and
+     implement/extract below still yield the best plan found so far. *)
+  let governor_cut () =
+    (match Governor.state token with
+     | Some r -> interrupted := Some r
+     | None ->
+       (match max_memo_groups with
+        | Some g when Memo.ngroups m >= g -> interrupted := Some Governor.Memo_budget
+        | _ -> ()));
+    !interrupted <> None
+  in
   let applied : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let key rule gid (e : gexpr) =
     Printf.sprintf "%s/%d/%s" rule gid (gexpr_key m e)
@@ -74,18 +91,18 @@ let explore (m : Memo.t) ~budget : int * bool =
     if not (Hashtbl.mem applied k) then begin
       Hashtbl.replace applied k ();
       if !tasks >= budget then exhausted := true
-      else begin
+      else if not (governor_cut ()) then begin
         incr tasks;
         f ()
       end
     end
   in
   let changed = ref true in
-  while !changed && not !exhausted do
+  while !changed && not !exhausted && !interrupted = None do
     changed := false;
     let before = Hashtbl.length m.dedup in
     let gid = ref 0 in
-    while !gid < Memo.ngroups m && not !exhausted do
+    while !gid < Memo.ngroups m && not !exhausted && !interrupted = None do
       let g = !gid in
       if m.groups.(g).merged_into = None then begin
         let exprs = Memo.exprs m g in
@@ -148,7 +165,7 @@ let explore (m : Memo.t) ~budget : int * bool =
     done;
     if Hashtbl.length m.dedup > before then changed := true
   done;
-  (!tasks, !exhausted)
+  (!tasks, !exhausted, !interrupted)
 
 (* -- implementation -- *)
 
@@ -309,8 +326,13 @@ let extract_best (m : Memo.t) : Plan.t option =
 
 (** Run the full serial optimization over a normalized logical tree.
     [seeds] are additional equivalent trees pre-inserted into the MEMO
-    before exploration (the paper's §3.1 seeding hook). *)
+    before exploration (the paper's §3.1 seeding hook). [token] and
+    [max_memo_groups] bound the search anytime-style: exploration stops at
+    the cut, but implementation and winner extraction still run over
+    whatever the MEMO holds, so a plan comes back even from a truncated
+    search (at worst, the normalized tree's own implementation). *)
 let optimize ?(obs = Obs.null) ?(opts = default_options) ?(seeds = [])
+    ?(token = Governor.none) ?max_memo_groups
     (reg : Registry.t) (shell : Catalog.Shell_db.t) (tree : Relop.t) : result =
   let m = Memo.of_tree reg shell tree in
   List.iter
@@ -320,11 +342,14 @@ let optimize ?(obs = Obs.null) ?(opts = default_options) ?(seeds = [])
          (* a seed must be an equivalent plan for the whole query *)
          Memo.merge_groups m (Memo.root m) g)
     seeds;
-  let tasks_used, budget_exhausted = explore m ~budget:opts.task_budget in
+  let tasks_used, budget_exhausted, interrupted =
+    explore m ~budget:opts.task_budget ~token ~max_memo_groups
+  in
   implement m ~opts;
   let best = try extract_best m with Cycle -> None in
   Obs.add obs "serial.memo.groups" (Memo.live_groups m);
   Obs.add obs "serial.memo.exprs" (Memo.total_exprs m);
   Obs.add obs "serial.tasks" tasks_used;
   Obs.add obs "serial.budget_exhausted" (if budget_exhausted then 1 else 0);
-  { memo = m; best; tasks_used; budget_exhausted }
+  Obs.add obs "serial.interrupted" (if interrupted <> None then 1 else 0);
+  { memo = m; best; tasks_used; budget_exhausted; interrupted }

@@ -24,4 +24,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("par", Test_par.suite);
       ("plancache", Test_plancache.suite);
-      ("fault", Test_fault.suite) ]
+      ("fault", Test_fault.suite);
+      ("governor", Test_governor.suite) ]
