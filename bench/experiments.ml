@@ -242,11 +242,14 @@ let calibrate_lambdas ~nodes =
   List.iter
     (fun n ->
        let rows = List.init n (fun i -> [| Catalog.Value.Int i; Catalog.Value.String (String.make 64 'x') |]) in
+       let rs rows = Engine.Rset.Rows { Engine.Local.layout = [ ck; cp ]; rows } in
        let parts = Array.make nodes [] in
        List.iteri (fun i r -> parts.(i mod nodes) <- r :: parts.(i mod nodes)) rows;
-       let mk dist = { Engine.Appliance.layout = [ ck; cp ]; per_node = parts; control = rows; dist } in
+       let mk dist = { Engine.Appliance.layout = [ ck; cp ]; per_node = Array.map rs parts;
+                       control = rs rows; dist } in
        let hashed = mk (Dms.Distprop.Hashed [ ck ]) in
-       let repl = { (mk Dms.Distprop.Replicated) with Engine.Appliance.per_node = Array.make nodes rows } in
+       let repl = { (mk Dms.Distprop.Replicated) with
+                    Engine.Appliance.per_node = Array.make nodes (rs rows) } in
        let single = mk Dms.Distprop.Single_node in
        ignore (Engine.Appliance.run_move app (Dms.Op.Shuffle [ ck ]) ~cols:[ ck; cp ] hashed);
        ignore (Engine.Appliance.run_move app Dms.Op.Broadcast ~cols:[ ck; cp ] hashed);
@@ -307,17 +310,19 @@ let e6 lambdas =
   List.iter
     (fun (kind, input_dist, n) ->
        let rows = List.init n (fun i -> [| Catalog.Value.Int i; Catalog.Value.String (String.make 64 'x') |]) in
+       let rs rows = Engine.Rset.Rows { Engine.Local.layout = [ ck; cp ]; rows } in
        let parts = Array.make nodes [] in
        List.iteri (fun i r -> parts.(i mod nodes) <- r :: parts.(i mod nodes)) rows;
        let stream =
          match input_dist with
-         | `Hashed -> { Engine.Appliance.layout = [ ck; cp ]; per_node = parts; control = [];
-                        dist = Dms.Distprop.Hashed [ ck ] }
+         | `Hashed -> { Engine.Appliance.layout = [ ck; cp ]; per_node = Array.map rs parts;
+                        control = rs []; dist = Dms.Distprop.Hashed [ ck ] }
          | `Replicated -> { Engine.Appliance.layout = [ ck; cp ];
-                            per_node = Array.make nodes rows; control = [];
+                            per_node = Array.make nodes (rs rows); control = rs [];
                             dist = Dms.Distprop.Replicated }
-         | `Single -> { Engine.Appliance.layout = [ ck; cp ]; per_node = Array.make nodes [];
-                        control = rows; dist = Dms.Distprop.Single_node }
+         | `Single -> { Engine.Appliance.layout = [ ck; cp ];
+                        per_node = Array.make nodes (rs []);
+                        control = rs rows; dist = Dms.Distprop.Single_node }
        in
        Engine.Appliance.reset_account app;
        ignore (Engine.Appliance.run_move app kind ~cols:[ ck; cp ] stream);
@@ -731,9 +736,10 @@ let e12 () =
        in
        let parts = Array.make nodes [] in
        List.iteri (fun i r -> parts.(i mod nodes) <- r :: parts.(i mod nodes)) rows;
+       let rs rows = Engine.Rset.Rows { Engine.Local.layout = [ ck; cg; cp ]; rows } in
        let stream =
-         { Engine.Appliance.layout = [ ck; cg; cp ]; per_node = parts; control = [];
-           dist = Dms.Distprop.Hashed [ ck ] }
+         { Engine.Appliance.layout = [ ck; cg; cp ]; per_node = Array.map rs parts;
+           control = rs []; dist = Dms.Distprop.Hashed [ ck ] }
        in
        Engine.Appliance.reset_account app;
        ignore (Engine.Appliance.run_move app (Dms.Op.Shuffle [ cg ]) ~cols:[ ck; cg; cp ] stream);
@@ -1022,6 +1028,122 @@ let e17 () =
      fallback, both of which pass the static analyzer and skip the cache.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E18: vectorized columnar executor — scale-factor and jobs sweeps    *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  section "E18"
+    "Columnar local executor: row vs columnar engines across scale factors";
+  let now = Unix.gettimeofday in
+  let parse_sfs s =
+    String.split_on_char ',' s |> List.filter (( <> ) "") |> List.map float_of_string
+  in
+  (* override the sweep with e.g. OPDW_E18_SFS=0.01,0.1,1 for big runs *)
+  let sfs =
+    match Sys.getenv_opt "OPDW_E18_SFS" with
+    | Some s -> parse_sfs s
+    | None -> [ 0.01; 0.05; 0.1 ]
+  in
+  let qids = [ "Q1"; "Q3"; "Q6" ] in
+  let nodes = 8 in
+  let sf_key sf = Printf.sprintf "sf%g" sf in
+  Printf.printf
+    "per-node execution only (optimization excluded); both engines run the\n\
+     identical plans over identically sharded data.\n\n";
+  Printf.printf "%-8s %-5s %-12s %-12s %-9s %-8s %-10s\n" "sf" "query"
+    "row (s)" "col (s)" "speedup" "rows" "sim equal";
+  let speedups = ref [] in
+  List.iter
+    (fun sf ->
+       (* fresh workloads per engine: identical generated data, shards, stats *)
+       let time_engine engine =
+         let w = Opdw.Workload.tpch ~node_count:nodes ~sf ~engine () in
+         let app = w.Opdw.Workload.app in
+         List.map
+           (fun id ->
+              let r = Opdw.optimize w.Opdw.Workload.shell (query id) in
+              let p = Opdw.plan r in
+              ignore (Engine.Appliance.run_pplan app p) (* warm-up *);
+              Engine.Appliance.reset_account app;
+              let t0 = now () in
+              let res = Engine.Appliance.run_pplan app p in
+              let wall = now () -. t0 in
+              (id, wall, app.Engine.Appliance.account.Engine.Appliance.sim_time,
+               Engine.Local.canonical res))
+           qids
+       in
+       let rows = time_engine Engine.Rset.Row in
+       let cols = time_engine Engine.Rset.Columnar in
+       List.iter2
+         (fun (id, wr, simr, resr) (_, wc, simc, resc) ->
+            let speedup = wr /. Float.max 1e-9 wc in
+            let rows_equal = resr = resc and sim_equal = simr = simc in
+            if not rows_equal then
+              failwith (Printf.sprintf "E18: %s rows differ across engines at sf %g" id sf);
+            speedups := speedup :: !speedups;
+            let k fmt = Printf.sprintf "%s.%s.%s" (sf_key sf) id fmt in
+            record "E18" (k "row_wall_seconds") wr;
+            record "E18" (k "columnar_wall_seconds") wc;
+            record "E18" (k "speedup_x") speedup;
+            recordi "E18" (k "result_rows") (List.length resr);
+            recordi "E18" (k "sim_identical") (if sim_equal then 1 else 0);
+            rowf "%-8g %-5s %-12.4f %-12.4f %-9.2f %-8d %-10b\n" sf id wr wc
+              speedup (List.length resr) sim_equal)
+         rows cols)
+    sfs;
+  record "E18" "geomean_speedup_x" (geomean !speedups);
+  Printf.printf "\ngeomean columnar speedup over the sweep: %.2fx\n"
+    (geomean !speedups);
+  (* -- part 2: wall clock vs --jobs on the columnar engine; the simulated
+     clock and byte/row accounting must not move -- *)
+  let sf_jobs = match sfs with [] -> 0.05 | l -> List.nth l (List.length l - 1) in
+  let w = Opdw.Workload.tpch ~node_count:nodes ~sf:sf_jobs
+      ~engine:Engine.Rset.Columnar () in
+  let app = w.Opdw.Workload.app in
+  let r = optimize w (query "Q9") in
+  let p = Opdw.plan r in
+  let cores = Par.default_jobs () in
+  recordi "E18" "cores" cores;
+  Printf.printf
+    "\ncolumnar engine, Q9 at sf %g, wall clock vs jobs (%d physical cores):\n"
+    sf_jobs cores;
+  Printf.printf "%-6s %-14s %-12s %-14s %-12s\n" "jobs" "wall (s)" "speedup"
+    "sim time (s)" "identical";
+  let base_wall = ref nan and base_acct = ref (nan, nan, nan) in
+  List.iter
+    (fun jobs ->
+       let wall =
+         Par.with_pool ~jobs @@ fun pool ->
+         Engine.Appliance.set_pool app pool;
+         let t0 = now () in
+         Engine.Appliance.reset_account app;
+         ignore (Engine.Appliance.run_pplan app p);
+         now () -. t0
+       in
+       Engine.Appliance.set_pool app Par.sequential;
+       let a = app.Engine.Appliance.account in
+       let acct =
+         (a.Engine.Appliance.sim_time, a.Engine.Appliance.bytes_moved,
+          a.Engine.Appliance.rows_moved)
+       in
+       if jobs = 1 then begin
+         base_wall := wall;
+         base_acct := acct
+       end;
+       let identical = acct = !base_acct in
+       record "E18" (Printf.sprintf "jobs%d_wall_seconds" jobs) wall;
+       record "E18" (Printf.sprintf "jobs%d_speedup_x" jobs) (!base_wall /. wall);
+       recordi "E18" (Printf.sprintf "jobs%d_accounting_identical" jobs)
+         (if identical then 1 else 0);
+       rowf "%-6d %-14.4f %-12.2f %-14.6g %-12b\n" jobs wall (!base_wall /. wall)
+         a.Engine.Appliance.sim_time identical)
+    [ 1; 2; 4; 8 ];
+  Printf.printf
+    "\nresult rows and the simulated clock are engine- and jobs-independent;\n\
+     only the wall clock moves. Columnar batches turn per-shard work into\n\
+     tight loops over typed columns, so the gap widens with the scale factor.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   e1 ();
@@ -1040,7 +1162,8 @@ let all () =
   e14 ();
   e15 ();
   e16 ();
-  e17 ()
+  e17 ();
+  e18 ()
 
 let by_id = function
   | "E1" -> e1 ()
@@ -1060,4 +1183,5 @@ let by_id = function
   | "E15" -> e15 ()
   | "E16" -> e16 ()
   | "E17" -> e17 ()
-  | id -> Printf.printf "unknown experiment %s (E1..E17)\n" id
+  | "E18" -> e18 ()
+  | id -> Printf.printf "unknown experiment %s (E1..E18)\n" id

@@ -14,7 +14,8 @@
 
 open Cmdliner
 
-let setup ~nodes ~sf = Opdw.Workload.tpch ~node_count:nodes ~sf ()
+let setup ?engine ~nodes ~sf () =
+  Opdw.Workload.tpch ~node_count:nodes ~sf ?engine ()
 
 let resolve_sql query_id sql_arg file =
   match query_id, sql_arg, file with
@@ -195,6 +196,23 @@ let limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget =
     sim_deadline = Option.map (fun ms -> ms /. 1000.) sim_deadline_ms;
     max_memo_groups = memo_budget }
 
+let engine_t =
+  Arg.(value
+       & opt (enum [ ("row", Engine.Rset.Row); ("columnar", Engine.Rset.Columnar) ])
+           Engine.Rset.Row
+       & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Per-node executor: $(b,row) (the semantics oracle, one boxed \
+               value array per row) or $(b,columnar) (typed column batches \
+               with selection vectors). Result rows and the simulated clock \
+               are identical; only wall-clock speed differs.")
+
+let compare_engines_t =
+  Arg.(value & flag
+       & info [ "compare-engines" ]
+         ~doc:"After the run, execute the same statement on fresh appliances \
+               with both engines and fail (exit 1) unless the result rows and \
+               the simulated response time agree exactly.")
+
 let profile_t =
   Arg.(value & flag
        & info [ "profile" ]
@@ -215,7 +233,7 @@ let options_of ~nodes ~seed ~budget =
 (* -- explain -- *)
 
 let explain nodes sf query sql file seed budget no_cache check verbose profile debug =
-  let w = setup ~nodes ~sf in
+  let w = setup ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
@@ -251,10 +269,32 @@ let explain_cmd =
 
 (* -- run -- *)
 
+(* --compare-engines: one clean (governor- and chaos-free) execution per
+   engine on fresh appliances; the qcheck oracle property in the test suite
+   is the exhaustive version of this spot check *)
+let compare_engines_run ~nodes ~sf ~options ~check ~pool text =
+  let once engine =
+    let w = setup ~engine ~nodes ~sf () in
+    let app = w.Opdw.Workload.app in
+    Engine.Appliance.set_pool app pool;
+    Engine.Appliance.set_check app check;
+    let r = Opdw.optimize ~options ~check w.Opdw.Workload.shell text in
+    let res = Opdw.run app r in
+    (Engine.Local.canonical res, app.Engine.Appliance.account.Engine.Appliance.sim_time)
+  in
+  let rows_r, sim_r = once Engine.Rset.Row in
+  let rows_c, sim_c = once Engine.Rset.Columnar in
+  let rows_ok = rows_r = rows_c and sim_ok = sim_r = sim_c in
+  Printf.printf "engine comparison: rows %s (%d vs %d), simulated time %s (%.6gs vs %.6gs)\n"
+    (if rows_ok then "identical" else "DIFFER")
+    (List.length rows_r) (List.length rows_c)
+    (if sim_ok then "identical" else "DIFFERS") sim_r sim_c;
+  if not (rows_ok && sim_ok) then exit 1
+
 let run nodes sf query sql file seed budget limit jobs no_cache check repeat chaos
     fault_seed fault_rate fault_schedule deadline_ms sim_deadline_ms memo_budget
-    max_concurrent queue_limit breaker profile debug =
-  let w = setup ~nodes ~sf in
+    max_concurrent queue_limit breaker engine compare_engines profile debug =
+  let w = setup ~engine ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
   let options = { (options_of ~nodes ~seed ~budget) with Opdw.governor = limits } in
@@ -348,6 +388,9 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat cha
   if repeat > 1 then
     Printf.printf "(%d rounds; execution used %d domains; plan cache %s)\n" repeat
       (Par.jobs pool) (if no_cache then "off" else "on");
+  if compare_engines then
+    compare_engines_run ~nodes ~sf ~options:(options_of ~nodes ~seed ~budget)
+      ~check ~pool text;
   print_profile obs
 
 let run_cmd =
@@ -364,7 +407,8 @@ let run_cmd =
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
           $ jobs_t $ no_cache_t $ check_t $ repeat $ chaos_t $ fault_seed_t $ fault_rate_t
           $ fault_schedule_t $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t
-          $ max_concurrent_t $ queue_limit_t $ breaker_t $ profile_t $ debug_t)
+          $ max_concurrent_t $ queue_limit_t $ breaker_t $ engine_t
+          $ compare_engines_t $ profile_t $ debug_t)
 
 (* -- overload -- *)
 
@@ -380,7 +424,7 @@ let render_rows (res : Engine.Local.rset) =
 
 let overload nodes sf query statements jobs deadline_ms sim_deadline_ms memo_budget
     max_concurrent queue_limit breaker expect_pressure =
-  let w = setup ~nodes ~sf in
+  let w = setup ~nodes ~sf () in
   let app = w.Opdw.Workload.app in
   let plain = options_of ~nodes ~seed:false ~budget:20000 in
   let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
@@ -495,7 +539,7 @@ let overload_cmd =
 (* -- memo -- *)
 
 let memo nodes sf query sql file as_xml =
-  let w = setup ~nodes ~sf in
+  let w = setup ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let r = Opdw.optimize w.Opdw.Workload.shell text in
   if as_xml then
@@ -511,7 +555,7 @@ let memo_cmd =
 (* -- check -- *)
 
 let check_queries nodes sf all query sql file seed budget =
-  let w = setup ~nodes ~sf in
+  let w = setup ~nodes ~sf () in
   let options = options_of ~nodes ~seed ~budget in
   let targets =
     if all then

@@ -711,15 +711,21 @@ module Workload = struct
     db : Tpch.Datagen.db;
   }
 
-  let tpch ?(node_count = 8) ?(sf = 0.01) () : t =
+  let tpch ?(node_count = 8) ?(sf = 0.01) ?(engine = Engine.Rset.Row) () : t =
     let shell = Catalog.Shell_db.create ~node_count in
     Tpch.Schema.install shell;
     let db = Tpch.Datagen.generate sf in
-    let app = Engine.Appliance.create shell in
+    let app = Engine.Appliance.create ~engine shell in
+    (* shard contents and order are engine-independent: both loaders
+       hash-partition with the same route hash in generation order *)
     List.iter
       (fun (schema, _) ->
          let name = schema.Catalog.Schema.name in
-         Engine.Appliance.load_table app name (Tpch.Datagen.rows db name))
+         match engine with
+         | Engine.Rset.Row ->
+           Engine.Appliance.load_table app name (Tpch.Datagen.rows db name)
+         | Engine.Rset.Columnar ->
+           Engine.Appliance.load_table_cols app name (Tpch.Datagen.table db name))
       Tpch.Schema.layout;
     (* global statistics = merge of per-node local statistics (§2.2) *)
     List.iter

@@ -273,6 +273,9 @@ module Workload : sig
   (** A TPC-H appliance: deterministic generated data at scale factor [sf]
       loaded onto [node_count] simulated nodes, with global statistics
       computed the PDW way — per-node local statistics merged into the
-      shell database (paper §2.2). *)
-  val tpch : ?node_count:int -> ?sf:float -> unit -> t
+      shell database (paper §2.2). [engine] selects the per-node executor
+      (default [Row]); shard contents, statistics, and the simulated clock
+      are identical either way. *)
+  val tpch :
+    ?node_count:int -> ?sf:float -> ?engine:Engine.Rset.engine -> unit -> t
 end

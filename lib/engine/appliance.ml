@@ -93,8 +93,15 @@ type t = {
   shell : Catalog.Shell_db.t;
   nodes : int;
   hw : hw;
-  (* per compute node: table name -> rows *)
-  storage : (string, rows) Hashtbl.t array;
+  (* per compute node: table name -> shard payload (row- or column-major,
+     matching how the table was loaded; positional layout 0..w-1) *)
+  storage : (string, Rset.t) Hashtbl.t array;
+  mutable engine : Rset.engine;
+      (** which local-executor implementation serial steps run; the row
+          engine is the semantics oracle, the columnar engine the fast
+          path. Either way the simulated clock and the DMS accounting are
+          bit-identical: both are computed from (bytes, rows) volumes and
+          operator cardinalities only. *)
   account : account;
   mutable obs : Obs.t;
       (** observability context for per-DMS-op and executor counters;
@@ -131,9 +138,9 @@ type t = {
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
-    ?(check = true) (shell : Catalog.Shell_db.t) : t =
+    ?(check = true) ?(engine = Rset.Row) (shell : Catalog.Shell_db.t) : t =
   let nodes = Catalog.Shell_db.node_count shell in
-  { shell; nodes; hw;
+  { shell; nodes; hw; engine;
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
     account = fresh_account (); obs; pool; check;
     fault = Fault.none; epoch = 0; live = List.init nodes Fun.id;
@@ -145,6 +152,11 @@ let set_obs t obs = t.obs <- obs
 (** Attach a domain pool for multicore shard execution (typically one pool
     per process, shared across appliances). *)
 let set_pool t pool = t.pool <- pool
+
+(** Select the local-executor implementation for serial steps. *)
+let set_engine t engine = t.engine <- engine
+
+let engine t = t.engine
 
 (** Enable/disable the {!Check} execution gate (see the [check] field). *)
 let set_check t check = t.check <- check
@@ -169,57 +181,66 @@ let begin_statement t =
   t.cur_step <- 0;
   t.cur_attempt <- 0
 
-(* routing hash: must agree between initial loading and shuffles *)
-let route_hash (values : Catalog.Value.t list) =
-  abs (List.fold_left (fun h v -> (h * 31) + Catalog.Value.hash v) 17 values)
+(* routing hash: must agree between initial loading and shuffles (and
+   between engines — see {!Rset.route_hash}) *)
+let route_hash = Rset.route_hash
 
-let row_bytes (row : Catalog.Value.t array) =
-  Array.fold_left (fun acc v -> acc + Catalog.Value.width v) 0 row
-
-let rows_bytes rows = List.fold_left (fun acc r -> acc +. float_of_int (row_bytes r)) 0. rows
-
-(** Load a table, partitioning or replicating per the shell layout. *)
-let load_table (t : t) (name : string) (rows : rows) =
+(** Load a table shard payload, partitioning or replicating per the shell
+    layout. The payload keeps its representation (row- or column-major). *)
+let load_rset (t : t) (name : string) (data : Rset.t) =
   let tbl = Catalog.Shell_db.find_exn t.shell name in
   let key = String.lowercase_ascii name in
   match tbl.Catalog.Shell_db.dist with
   | Catalog.Distribution.Replicated ->
-    Array.iter (fun store -> Hashtbl.replace store key rows) t.storage
+    Array.iter (fun store -> Hashtbl.replace store key data) t.storage
   | Catalog.Distribution.Hash_partitioned cols ->
     let schema = tbl.Catalog.Shell_db.schema in
-    let idxs =
-      List.filter_map (fun c -> Catalog.Schema.find_col schema c) cols
+    let kpos =
+      Array.of_list (List.filter_map (fun c -> Catalog.Schema.find_col schema c) cols)
     in
-    let parts = Array.make t.nodes [] in
-    List.iter
-      (fun row ->
-         let k = List.map (fun i -> row.(i)) idxs in
-         let n = route_hash k mod t.nodes in
-         parts.(n) <- row :: parts.(n))
-      rows;
-    Array.iteri
-      (fun i store -> Hashtbl.replace store key (List.rev parts.(i)))
-      t.storage
+    let parts = Rset.partition data ~kpos ~parts:t.nodes in
+    Array.iteri (fun i store -> Hashtbl.replace store key parts.(i)) t.storage
 
-let node_table t node name =
+(** Load a table from rows (row-major storage). *)
+let load_table (t : t) (name : string) (rows : rows) =
+  let w = match rows with [] -> 0 | r :: _ -> Array.length r in
+  load_rset t name (Rset.Rows { Local.layout = List.init w Fun.id; rows })
+
+(** Load a table from a column-major payload (columnar storage). *)
+let load_table_cols (t : t) (name : string) (tbl : Catalog.Column.table) =
+  let w = Array.length tbl.Catalog.Column.cols in
+  load_rset t name
+    (Rset.Cols { (Batch.of_table tbl) with Batch.layout = Array.init w Fun.id })
+
+let node_rset t node name =
   match Hashtbl.find_opt t.storage.(node) (String.lowercase_ascii name) with
-  | Some rows -> rows
+  | Some rs -> rs
   | None -> raise (Local.Exec_error (Printf.sprintf "table %s not loaded" name))
+
+let node_table t node name = (Rset.to_local (node_rset t node name)).Local.rows
+
+let node_batch t node name = Rset.to_batch (node_rset t node name)
 
 (* -- distributed streams -- *)
 
 type dstream = {
   layout : int list;
-  per_node : rows array;     (** length = t.nodes; unused when on control *)
-  control : rows;            (** rows resident on the control node *)
+  per_node : Rset.t array;   (** length = t.nodes; unused when on control *)
+  control : Rset.t;          (** payload resident on the control node *)
   dist : Dms.Distprop.t;
 }
 
-let stream_rows (d : dstream) : rows =
+(** The full logical contents of a stream as one payload. *)
+let stream_rset (d : dstream) : Rset.t =
   match d.dist with
-  | Dms.Distprop.Single_node -> d.control
-  | Dms.Distprop.Replicated -> if Array.length d.per_node = 0 then [] else d.per_node.(0)
-  | Dms.Distprop.Hashed _ -> List.concat (Array.to_list d.per_node)
+  | Dms.Distprop.Single_node -> Rset.with_layout d.control d.layout
+  | Dms.Distprop.Replicated ->
+    if Array.length d.per_node = 0 then Rset.Rows { Local.layout = d.layout; rows = [] }
+    else Rset.with_layout d.per_node.(0) d.layout
+  | Dms.Distprop.Hashed _ ->
+    Rset.concat ~layout:d.layout (Array.to_list d.per_node)
+
+let stream_rows (d : dstream) : rows = (Rset.to_local (stream_rset d)).Local.rows
 
 (* -- fault injection and step-level recovery -- *)
 
@@ -394,88 +415,94 @@ let account_move t ~opname ~hashed ~per_node_read ~per_node_net ~per_node_write 
 let project_stream (d : dstream) (cols : int list) : dstream =
   if cols = d.layout then d
   else begin
-    let env = Local.make_env d.layout in
-    let proj rows =
-      List.map (fun row -> Array.of_list (List.map (env row) cols)) rows
-    in
-    { d with layout = cols; per_node = Array.map proj d.per_node; control = proj d.control }
+    let proj rs = Rset.project (Rset.with_layout rs d.layout) cols in
+    { d with layout = cols; per_node = Array.map proj d.per_node;
+      control = proj d.control }
   end
+
+let empty_rs (layout : int list) = Rset.Rows { Local.layout = layout; rows = [] }
 
 (** Execute one DMS operation on a stream (routing + accounting). *)
 let run_move_inner (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstream) : dstream =
   let n = t.nodes in
   let input = project_stream input cols in
-  let vol rows = (rows_bytes rows, float_of_int (List.length rows)) in
+  let vol = Rset.vol in
   let zero = (0., 0.) in
+  let concat parts = Rset.concat ~layout:cols parts in
   match kind with
   | Dms.Op.Shuffle hash_cols ->
-    let env = Local.make_env cols in
-    let parts = Array.make n [] in
     let sources =
       match input.dist with
       | Dms.Distprop.Single_node -> [ input.control ]
       | _ -> Array.to_list input.per_node
     in
-    List.iter
-      (fun rows ->
-         List.iter
-           (fun row ->
-              let k = List.map (env row) hash_cols in
-              let dst = route_hash k mod n in
-              parts.(dst) <- row :: parts.(dst))
-           rows)
-      sources;
-    let out = Array.map List.rev parts in
+    (* each source partitions independently; destination shards append the
+       sources' contributions in source order (same row order as the row
+       engine's single cons-and-reverse pass over all sources) *)
+    let kpos =
+      match sources with
+      | [] -> [||]
+      | s :: _ -> Rset.positions (Rset.with_layout s cols) hash_cols
+    in
+    let per_source =
+      List.map (fun s -> Rset.partition (Rset.with_layout s cols) ~kpos ~parts:n) sources
+    in
+    let out =
+      Array.init n (fun i -> concat (List.map (fun ps -> ps.(i)) per_source))
+    in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:true
       ~per_node_read:(List.map vol sources)
       ~per_node_net:(List.map vol sources)
       ~per_node_write:(Array.to_list (Array.map vol out));
-    { layout = cols; per_node = out; control = []; dist = Dms.Distprop.Hashed hash_cols }
+    { layout = cols; per_node = out; control = empty_rs cols;
+      dist = Dms.Distprop.Hashed hash_cols }
   | Dms.Op.Partition_move ->
-    let all = List.concat (Array.to_list input.per_node) in
+    let all = concat (Array.to_list input.per_node) in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:false
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:(Array.to_list (Array.map vol input.per_node))
       ~per_node_write:[ vol all ];
-    { layout = cols; per_node = Array.make n []; control = all;
+    { layout = cols; per_node = Array.make n (empty_rs cols); control = all;
       dist = Dms.Distprop.Single_node }
   | Dms.Op.Control_node_move | Dms.Op.Replicated_broadcast ->
-    let rows = input.control in
+    let rs = input.control in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:false
-      ~per_node_read:[ vol rows ]
-      ~per_node_net:[ vol rows ]
-      ~per_node_write:(List.init n (fun _ -> vol rows));
-    { layout = cols; per_node = Array.make n rows; control = [];
+      ~per_node_read:[ vol rs ]
+      ~per_node_net:[ vol rs ]
+      ~per_node_write:(List.init n (fun _ -> vol rs));
+    { layout = cols; per_node = Array.make n rs; control = empty_rs cols;
       dist = Dms.Distprop.Replicated }
   | Dms.Op.Broadcast ->
-    let all = List.concat (Array.to_list input.per_node) in
+    let all = concat (Array.to_list input.per_node) in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:false
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:[ vol all ]
       ~per_node_write:(List.init n (fun _ -> vol all));
-    { layout = cols; per_node = Array.make n all; control = [];
+    { layout = cols; per_node = Array.make n all; control = empty_rs cols;
       dist = Dms.Distprop.Replicated }
   | Dms.Op.Trim hash_cols ->
-    let env = Local.make_env cols in
     let out =
       Array.init n (fun i ->
-          List.filter
-            (fun row ->
-               let k = List.map (env row) hash_cols in
-               route_hash k mod n = i)
-            (if Array.length input.per_node > 0 then input.per_node.(i) else []))
+          if Array.length input.per_node > 0 then begin
+            let rs = Rset.with_layout input.per_node.(i) cols in
+            Rset.trim rs ~kpos:(Rset.positions rs hash_cols) ~node:i ~parts:n
+          end
+          else empty_rs cols)
     in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:true
       ~per_node_read:(Array.to_list (Array.map vol input.per_node))
       ~per_node_net:[ zero ]
       ~per_node_write:(Array.to_list (Array.map vol out));
-    { layout = cols; per_node = out; control = []; dist = Dms.Distprop.Hashed hash_cols }
+    { layout = cols; per_node = out; control = empty_rs cols;
+      dist = Dms.Distprop.Hashed hash_cols }
   | Dms.Op.Remote_copy ->
     let all =
       match input.dist with
       | Dms.Distprop.Replicated ->
-        if Array.length input.per_node > 0 then input.per_node.(0) else []
-      | _ -> List.concat (Array.to_list input.per_node)
+        if Array.length input.per_node > 0 then
+          Rset.with_layout input.per_node.(0) cols
+        else empty_rs cols
+      | _ -> concat (Array.to_list input.per_node)
     in
     let reads =
       match input.dist with
@@ -484,7 +511,7 @@ let run_move_inner (t : t) (kind : Dms.Op.kind) ~(cols : int list) (input : dstr
     in
     account_move t ~opname:(Dms.Op.name kind) ~hashed:false ~per_node_read:reads ~per_node_net:reads
       ~per_node_write:[ vol all ];
-    { layout = cols; per_node = Array.make n []; control = all;
+    { layout = cols; per_node = Array.make n (empty_rs cols); control = all;
       dist = Dms.Distprop.Single_node }
 
 (** {!run_move_inner} plus the DMS injection sites: a transfer can fail
@@ -503,6 +530,31 @@ let serial_step_time t (op : Memo.Physop.t) (out_rows : float) (in_rows : float 
   let work = Serialopt.Cost.local_cost op ~out:out_rows ~inputs:in_rows in
   work *. t.hw.serial_unit
 
+(* run one shard of a serial step on the selected engine; [stats] (when
+   observability is on) is private to this shard, so the pool fan-out stays
+   race-free and merging happens in the caller domain *)
+let shard_exec (t : t) ~(node : int) ?stats (op : Memo.Physop.t)
+    (inputs : Rset.t list) : Rset.t =
+  match t.engine with
+  | Rset.Row ->
+    Rset.Rows
+      (Local.exec_op ?stats ~read_table:(fun name -> node_table t node name) op
+         (List.map Rset.to_local inputs))
+  | Rset.Columnar ->
+    Rset.Cols
+      (Batch.exec_op ?stats ~read_table:(fun name -> node_batch t node name) op
+         (List.map Rset.to_batch inputs))
+
+(* merge per-shard executor stats into the Obs counters (caller domain) *)
+let note_exec_stats t (stats : Local.exec_stats list) =
+  if Obs.enabled t.obs then begin
+    let total = Local.fresh_stats () in
+    List.iter (fun s -> Local.merge_stats ~into:total s) stats;
+    Obs.add t.obs "engine.rows_scanned" total.Local.rows_scanned;
+    Obs.add t.obs "engine.batches" total.Local.batches;
+    Obs.add t.obs "engine.join_probe_rows" total.Local.probe_rows
+  end
+
 (** Execute a serial operator on every node holding data. *)
 let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream =
   let on_control =
@@ -514,23 +566,26 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
   in
   if on_control then begin
     (* all children must be on the control node (or replicated) *)
-    let csets =
+    let inputs =
       List.map
         (fun c ->
            match c.dist with
-           | Dms.Distprop.Single_node -> { Local.layout = c.layout; rows = c.control }
+           | Dms.Distprop.Single_node -> Rset.with_layout c.control c.layout
            | Dms.Distprop.Replicated ->
-             { Local.layout = c.layout;
-               rows = (if Array.length c.per_node > 0 then c.per_node.(0) else []) }
+             if Array.length c.per_node > 0 then
+               Rset.with_layout c.per_node.(0) c.layout
+             else empty_rs c.layout
            | Dms.Distprop.Hashed _ ->
              raise (Local.Exec_error "mixed control/distributed serial step"))
         children
     in
-    let r = Local.exec_op ~read_table:(fun name -> node_table t 0 name) op csets in
+    let stats = if Obs.enabled t.obs then Some (Local.fresh_stats ()) else None in
+    let r = shard_exec t ~node:0 ?stats op inputs in
+    (match stats with Some s -> note_exec_stats t [ s ] | None -> ());
     let step =
       serial_step_time t op
-        (float_of_int (List.length r.Local.rows))
-        (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
+        (float_of_int (Rset.count r))
+        (List.map (fun i -> float_of_int (Rset.count i)) inputs)
     in
     t.account.sim_time <- t.account.sim_time +. step;
     if Obs.enabled t.obs then begin
@@ -538,8 +593,8 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
       Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op)) step
     end;
     inject_point t Fault.Control_transient;
-    { layout = r.Local.layout; per_node = Array.make t.nodes []; control = r.Local.rows;
-      dist = Dms.Distprop.Single_node }
+    { layout = Rset.layout r; per_node = Array.make t.nodes (empty_rs []);
+      control = r; dist = Dms.Distprop.Single_node }
   end
   else begin
     (* node-crash decisions are drawn for every node BEFORE the parallel
@@ -560,34 +615,41 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
     end;
     (* every node executes its shard concurrently on the domain pool; the
        bodies only read shared state (storage, children) and write their
-       own result slot, so the fan-out is race-free and [outs] / [steps]
-       come back in node order — the simulated clock below is bit-identical
-       to the sequential walk *)
+       own result slot (including a private stats record), so the fan-out
+       is race-free and [outs] / [steps] come back in node order — the
+       simulated clock below is bit-identical to the sequential walk *)
+    let want_stats = Obs.enabled t.obs in
     let node_results =
       Par.parallel_map t.pool
         (fun node ->
-           let csets =
+           let inputs =
              List.map
-               (fun c -> { Local.layout = c.layout;
-                           rows = (if Array.length c.per_node > 0 then c.per_node.(node) else []) })
+               (fun c ->
+                  if Array.length c.per_node > 0 then
+                    Rset.with_layout c.per_node.(node) c.layout
+                  else empty_rs c.layout)
                children
            in
-           let r = Local.exec_op ~read_table:(fun name -> node_table t node name) op csets in
+           let stats = if want_stats then Some (Local.fresh_stats ()) else None in
+           let r = shard_exec t ~node ?stats op inputs in
            let step =
              serial_step_time t op
-               (float_of_int (List.length r.Local.rows))
-               (List.map (fun c -> float_of_int (List.length c.Local.rows)) csets)
+               (float_of_int (Rset.count r))
+               (List.map (fun i -> float_of_int (Rset.count i)) inputs)
            in
-           (r, step))
+           (r, step, stats))
         (Array.init t.nodes Fun.id)
     in
-    let outs = Array.map fst node_results in
+    let outs = Array.map (fun (r, _, _) -> r) node_results in
+    note_exec_stats t
+      (Array.to_list node_results
+       |> List.filter_map (fun (_, _, s) -> s));
     let max_step = ref 0. in
     (* stragglers inflate their node's step time before the max; applied
        here (after the fan-out, in node order) so the combination stays
        bit-identical at any --jobs *)
     Array.iteri
-      (fun node (_, step) ->
+      (fun node (_, step, _) ->
          let step =
            if not (fault_active t) then step
            else
@@ -612,8 +674,8 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
       Obs.addf t.obs (Printf.sprintf "engine.serial.%s.node_seconds" (Memo.Physop.name op))
         !max_step
     end;
-    let layout = outs.(0).Local.layout in
-    { layout; per_node = Array.map (fun r -> r.Local.rows) outs; control = [];
+    let layout = Rset.layout outs.(0) in
+    { layout; per_node = outs; control = empty_rs layout;
       dist = Dms.Distprop.Hashed [] (* refined by caller *) }
   end
 
@@ -644,22 +706,22 @@ let rec run_pplan (t : t) (p : Pdwopt.Pplan.t) : Local.rset =
     (* the gather is itself an injectable step (control-node transient);
        it is pure over [child], so a retry just recomputes the result *)
     with_recovery t @@ fun () ->
-    let all = stream_rows child in
+    let all = stream_rset child in
     (* streamed gather: network accounting only, no temp table *)
     (match child.dist with
      | Dms.Distprop.Single_node -> ()
      | _ ->
-       let b = rows_bytes all and r = float_of_int (List.length all) in
+       let b, r = Rset.vol all in
        let step = (b *. t.hw.network_byte) +. (r *. t.hw.network_row) in
        t.account.sim_time <- t.account.sim_time +. step;
        t.account.bytes_moved <- t.account.bytes_moved +. b;
        Obs.addf t.obs "engine.return.bytes" b;
        Obs.addf t.obs "engine.return.rows" r);
     inject_point t Fault.Control_transient;
-    let rset = { Local.layout = child.layout; rows = all } in
+    let rset = Rset.to_local all in
     if sort = [] then
       (match limit with
-       | Some n -> { rset with Local.rows = List.filteri (fun i _ -> i < n) rset.Local.rows }
+       | Some n -> { rset with Local.rows = Local.take n rset.Local.rows }
        | None -> rset)
     else Local.sort_rows ~keys:sort ?limit rset
   | _ ->
@@ -672,7 +734,10 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
     let children = List.map (exec_node t) p.Pdwopt.Pplan.children in
     (* serial steps and moves recompute over immutable input streams, so
        re-execution after a failure is idempotent with no cleanup *)
-    let d = with_recovery t (fun () -> run_serial t op children) in
+    let d =
+      Obs.with_span t.obs ("engine.op." ^ Memo.Physop.name op) @@ fun () ->
+      with_recovery t (fun () -> run_serial t op children)
+    in
     { d with dist = p.Pdwopt.Pplan.dist }
   | Pdwopt.Pplan.Move { kind; cols } ->
     let child =
@@ -717,7 +782,7 @@ let decommission (t : t) ~(node : int) : t =
          (Catalog.Shell_db.add_table shell' ~stats:tbl.Catalog.Shell_db.stats
             tbl.Catalog.Shell_db.schema tbl.Catalog.Shell_db.dist))
     tables;
-  let t' = create ~hw:t.hw ~obs:t.obs ~pool:t.pool ~check:t.check shell' in
+  let t' = create ~hw:t.hw ~obs:t.obs ~pool:t.pool ~check:t.check ~engine:t.engine shell' in
   t'.fault <- t.fault;
   t'.token <- t.token;
   t'.epoch <- t.epoch + 1;
@@ -732,19 +797,23 @@ let decommission (t : t) ~(node : int) : t =
        match tbl.Catalog.Shell_db.dist with
        | Catalog.Distribution.Replicated ->
          (match Hashtbl.find_opt t.storage.(0) key with
-          | Some rows -> load_table t' name rows
+          | Some rs -> load_rset t' name rs
           | None -> ())
        | Catalog.Distribution.Hash_partitioned _ ->
          let shards =
-           List.init t.nodes (fun i ->
-               Option.value ~default:[] (Hashtbl.find_opt t.storage.(i) key))
+           List.filter_map (fun i -> Hashtbl.find_opt t.storage.(i) key)
+             (List.init t.nodes Fun.id)
          in
-         if List.exists (fun s -> s <> []) shards
+         if List.exists (fun s -> Rset.count s > 0) shards
             || Hashtbl.mem t.storage.(0) key then begin
-           let all = List.concat shards in
-           moved_bytes := !moved_bytes +. rows_bytes all;
-           moved_rows := !moved_rows +. float_of_int (List.length all);
-           load_table t' name all
+           let layout =
+             match shards with s :: _ -> Rset.layout s | [] -> []
+           in
+           let all = Rset.concat ~layout shards in
+           let b, r = Rset.vol all in
+           moved_bytes := !moved_bytes +. b;
+           moved_rows := !moved_rows +. r;
+           load_rset t' name all
          end)
     tables;
   let hw = t.hw in

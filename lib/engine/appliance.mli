@@ -1,0 +1,175 @@
+(** The simulated PDW appliance: a control node plus N compute nodes, each
+    holding hash-partitioned or replicated table shards and running the
+    {!Local} (row) or {!Batch} (columnar) executor; a DMS runtime routes
+    rows between nodes with byte accounting and a simulated clock (paper
+    §2.1-§2.4).
+
+    Time is simulated from "true" per-component hardware characteristics
+    that are deliberately richer than the optimizer's linear cost model
+    (per-byte rate + per-row overhead + fixed setup): calibration (paper
+    §3.3.3) fits the model's lambdas against measurements produced here.
+
+    The simulated clock and all DMS accounting are computed from (bytes,
+    rows) volumes and operator cardinalities only, so they are
+    bit-identical across engines and at any domain-pool width. *)
+
+type rows = Catalog.Value.t array list
+
+(** "True" hardware characteristics of the simulated appliance. *)
+type hw = {
+  reader_byte : float; reader_row : float;
+  hash_extra_byte : float;               (** extra reader cost when hashing *)
+  network_byte : float; network_row : float;
+  writer_byte : float; writer_row : float;
+  blkcpy_byte : float; blkcpy_row : float; blkcpy_fixed : float;
+  serial_unit : float;  (** seconds per unit of {!Serialopt.Cost} work *)
+}
+
+val default_hw : hw
+
+(** Per-statement accounting: simulated time, data movement, calibration
+    samples, and the fault plane's counters. *)
+type account = {
+  mutable sim_time : float;         (** simulated response time, seconds *)
+  mutable dms_time : float;         (** portion spent in DMS steps *)
+  mutable bytes_moved : float;      (** bytes that crossed the network *)
+  mutable rows_moved : float;
+  mutable moves : int;
+  mutable reader_samples : Dms.Calibrate.sample list;
+  mutable reader_hash_samples : Dms.Calibrate.sample list;
+  mutable network_samples : Dms.Calibrate.sample list;
+  mutable writer_samples : Dms.Calibrate.sample list;
+  mutable blkcpy_samples : Dms.Calibrate.sample list;
+  mutable injected : int;           (** faults that fired (stragglers included) *)
+  mutable retries : int;            (** step re-executions after a failure *)
+  mutable recovered : int;          (** steps that eventually succeeded *)
+  mutable replans : int;            (** node losses escalated to re-optimization *)
+  mutable backoff_time : float;     (** simulated seconds spent backing off *)
+}
+
+(** Calibration samples recorded for one DMS component. *)
+val samples_of : account -> Dms.Calibrate.component -> Dms.Calibrate.sample list
+
+type t = {
+  shell : Catalog.Shell_db.t;
+  nodes : int;
+  hw : hw;
+  storage : (string, Rset.t) Hashtbl.t array;
+  mutable engine : Rset.engine;
+  account : account;
+  mutable obs : Obs.t;
+  mutable pool : Par.t;
+  mutable check : bool;
+  mutable fault : Fault.plan;
+  mutable epoch : int;
+  mutable live : int list;
+  mutable step_no : int;
+  mutable cur_step : int;
+  mutable cur_attempt : int;
+  mutable token : Governor.token;
+}
+
+val create :
+  ?hw:hw -> ?obs:Obs.t -> ?pool:Par.t -> ?check:bool -> ?engine:Rset.engine ->
+  Catalog.Shell_db.t -> t
+
+(** Attach an observability context (typically per executed query). *)
+val set_obs : t -> Obs.t -> unit
+
+(** Attach a domain pool for multicore shard execution (typically one pool
+    per process, shared across appliances). *)
+val set_pool : t -> Par.t -> unit
+
+(** Select the local-executor implementation for serial steps. *)
+val set_engine : t -> Rset.engine -> unit
+
+val engine : t -> Rset.engine
+
+(** Enable/disable the {!Check} execution gate (on by default). *)
+val set_check : t -> bool -> unit
+
+(** Attach a fault-injection plan ({!Fault.none} disables injection). *)
+val set_fault : t -> Fault.plan -> unit
+
+(** Attach a statement cancellation token ({!Governor.none} disables
+    polling). The caller is responsible for resetting it to
+    {!Governor.none} when the statement finishes. *)
+val set_token : t -> Governor.token -> unit
+
+(** Original node ids still alive (current node index -> original id). *)
+val live_nodes : t -> int list
+
+val reset_account : t -> unit
+
+(** Start a new statement: step numbering restarts at 0 so explicit fault
+    schedules address steps of each statement independently. *)
+val begin_statement : t -> unit
+
+(** Routing hash shared by initial loading and shuffles (and by both
+    engines — see {!Rset.route_hash}). *)
+val route_hash : Catalog.Value.t list -> int
+
+(** Load a table from rows (row-major storage), partitioning or
+    replicating per the shell layout. *)
+val load_table : t -> string -> rows -> unit
+
+(** Load a table from a column-major payload (columnar storage). *)
+val load_table_cols : t -> string -> Catalog.Column.table -> unit
+
+(** One node's shard of a table, in the representation it was loaded in. *)
+val node_rset : t -> int -> string -> Rset.t
+
+(** One node's shard as rows (converting if stored columnar). *)
+val node_table : t -> int -> string -> rows
+
+(** One node's shard as a columnar batch (converting if stored row-major). *)
+val node_batch : t -> int -> string -> Batch.t
+
+(** A distributed intermediate result: one payload per compute node, or a
+    single payload on the control node, per its distribution property. *)
+type dstream = {
+  layout : int list;
+  per_node : Rset.t array;   (** length = [nodes]; unused when on control *)
+  control : Rset.t;          (** payload resident on the control node *)
+  dist : Dms.Distprop.t;
+}
+
+(** The full logical contents of a stream as one payload. *)
+val stream_rset : dstream -> Rset.t
+
+val stream_rows : dstream -> rows
+
+(** Draw the fault plan at an injection site; raises a step failure when
+    the draw fires. *)
+val inject_point : t -> Fault.site -> unit
+
+(** Run [f] with step-level recovery: transient step failures re-execute
+    [f] (with simulated backoff accounting) up to the fault plan's retry
+    budget; node crashes escalate. [on_retry] runs before each retry. *)
+val with_recovery : ?on_retry:(unit -> unit) -> t -> (unit -> 'a) -> 'a
+
+(** Execute one DMS data-movement operation on a stream, accounting reader,
+    network, and writer time against the simulated clock. *)
+val run_move : t -> Dms.Op.kind -> cols:int list -> dstream -> dstream
+
+(** Execute one serial operator on every node holding data. *)
+val run_serial : t -> Memo.Physop.t -> dstream list -> dstream
+
+(** Execute a PDW plan on the appliance. Returns the final client result
+    (rows + layout); accounting accumulates in [account]. Unless
+    {!set_check} disabled it, the plan is first passed through the static
+    analyzer's execution-soundness rules; an invalid plan raises
+    {!Check.Invalid} instead of executing. *)
+val run_pplan : t -> Pdwopt.Pplan.t -> Local.rset
+
+(** [decommission t ~node] builds a fresh [(nodes - 1)]-node appliance
+    after compute node [node] (current index) died: same schemas and
+    statistics, every table re-partitioned mod the surviving count, the
+    account carried over plus a recovery charge of re-partitioning every
+    hash-distributed table at DMS rates. The replan epoch is bumped so
+    fault draws restart, and [live] drops the dead node's original id. *)
+val decommission : t -> node:int -> t
+
+(** Single-node oracle: run a serial plan over the full (unpartitioned)
+    tables. *)
+val run_reference : t -> Serialopt.Plan.t -> Local.rset

@@ -14,11 +14,12 @@ open Algebra
 
 type rows = Catalog.Value.t array list
 
-(** Where a temp table's rows live. *)
+(** Where a temp table's payload lives (row- or column-major, matching
+    the appliance's engine). *)
 type placement =
-  | On_nodes of rows array       (** one shard per compute node *)
-  | On_control of rows
-  | Replicated_everywhere of rows
+  | On_nodes of Rset.t array     (** one shard per compute node *)
+  | On_control of Rset.t
+  | Replicated_everywhere of Rset.t
 
 type state = {
   app : Appliance.t;
@@ -54,20 +55,25 @@ let register_temp st name (cols : (int * string) list) =
 
 (* -- direct logical-tree execution (no optimizer needed per node) -- *)
 
+let physop_of (op : Relop.op) : Memo.Physop.t =
+  match op with
+  | Relop.Get { table; alias; cols } -> Memo.Physop.Table_scan { table; alias; cols }
+  | Relop.Select p -> Memo.Physop.Filter p
+  | Relop.Project defs -> Memo.Physop.Compute defs
+  | Relop.Join { kind; pred } -> Memo.Physop.Hash_join { kind; pred }
+  | Relop.Group_by { keys; aggs } -> Memo.Physop.Hash_agg { keys; aggs }
+  | Relop.Sort { keys; limit } -> Memo.Physop.Sort_op { keys; limit }
+  | Relop.Union_all -> Memo.Physop.Union_op
+  | Relop.Empty cols -> Memo.Physop.Const_empty cols
+
 let rec exec_logical ~read_table (t : Relop.t) : Local.rset =
   let children = List.map (exec_logical ~read_table) t.Relop.children in
-  let op : Memo.Physop.t =
-    match t.Relop.op with
-    | Relop.Get { table; alias; cols } -> Memo.Physop.Table_scan { table; alias; cols }
-    | Relop.Select p -> Memo.Physop.Filter p
-    | Relop.Project defs -> Memo.Physop.Compute defs
-    | Relop.Join { kind; pred } -> Memo.Physop.Hash_join { kind; pred }
-    | Relop.Group_by { keys; aggs } -> Memo.Physop.Hash_agg { keys; aggs }
-    | Relop.Sort { keys; limit } -> Memo.Physop.Sort_op { keys; limit }
-    | Relop.Union_all -> Memo.Physop.Union_op
-    | Relop.Empty cols -> Memo.Physop.Const_empty cols
-  in
-  Local.exec_op ~read_table op children
+  Local.exec_op ~read_table (physop_of t.Relop.op) children
+
+(* the same tree on the columnar engine *)
+let rec exec_logical_b ~read_table (t : Relop.t) : Batch.t =
+  let children = List.map (exec_logical_b ~read_table) t.Relop.children in
+  Batch.exec_op ~read_table (physop_of t.Relop.op) children
 
 (* parse + algebrize + normalize a generated statement *)
 let compile st sql =
@@ -104,36 +110,53 @@ let all_replicated st tree =
           | None -> false))
     (referenced_tables tree)
 
-(* per-node table reader: base shards from the appliance, temps from state *)
-let reader_for st ~node ~control name =
-  let key = String.lowercase_ascii name in
-  match Hashtbl.find_opt st.temps key with
-  | Some (On_nodes shards) -> if control then [] else shards.(node)
-  | Some (On_control rows) -> if control then rows else []
-  | Some (Replicated_everywhere rows) -> rows
-  | None ->
-    if control then
-      (* the control node's SQL Server holds replicated tables only *)
-      Appliance.node_table st.app 0 name
-    else Appliance.node_table st.app node name
+(* per-node temp-table payload; None = base table (read from the
+   appliance). An empty result keeps the temp's arity so the columnar
+   engine's scans still type-check *)
+let temp_payload st ~node ~control name : Rset.t option =
+  match Hashtbl.find_opt st.temps (String.lowercase_ascii name) with
+  | Some (On_nodes shards) ->
+    Some (if control then Rset.empty_like shards.(0) else shards.(node))
+  | Some (On_control rs) -> Some (if control then rs else Rset.empty_like rs)
+  | Some (Replicated_everywhere rs) -> Some rs
+  | None -> None
+
+(* per-node table readers: base shards from the appliance, temps from
+   state. The control node's SQL Server holds replicated tables only. *)
+let reader_for st ~node ~control name : rows =
+  match temp_payload st ~node ~control name with
+  | Some rs -> (Rset.to_local rs).Local.rows
+  | None -> Appliance.node_table st.app (if control then 0 else node) name
+
+let reader_for_b st ~node ~control name : Batch.t =
+  match temp_payload st ~node ~control name with
+  | Some rs -> Rset.to_batch rs
+  | None -> Appliance.node_batch st.app (if control then 0 else node) name
+
+(* execute a compiled tree on one node's data, on the appliance's engine *)
+let exec_tree st ~node ~control (tree : Relop.t) : Rset.t =
+  match Appliance.engine st.app with
+  | Rset.Row ->
+    Rset.Rows (exec_logical ~read_table:(reader_for st ~node ~control) tree)
+  | Rset.Columnar ->
+    Rset.Cols (exec_logical_b ~read_table:(reader_for_b st ~node ~control) tree)
 
 type stmt_result =
-  | Per_node of Local.rset array     (** one result per compute node *)
-  | Replicated_result of Local.rset  (** identical on every node *)
-  | Control_result of Local.rset     (** ran on the control node *)
+  | Per_node of Rset.t array     (** one result per compute node *)
+  | Replicated_result of Rset.t  (** identical on every node *)
+  | Control_result of Rset.t     (** ran on the control node *)
 
 (* execute a statement where its input data lives *)
 let run_statement st sql ~on_control : stmt_result =
   let _, tree = compile st sql in
   if on_control || uses_control_temp st tree then
-    Control_result (exec_logical ~read_table:(reader_for st ~node:0 ~control:true) tree)
+    Control_result (exec_tree st ~node:0 ~control:true tree)
   else if all_replicated st tree then
-    Replicated_result
-      (exec_logical ~read_table:(reader_for st ~node:0 ~control:false) tree)
+    Replicated_result (exec_tree st ~node:0 ~control:false tree)
   else
     Per_node
       (Array.init st.app.Appliance.nodes (fun node ->
-           exec_logical ~read_table:(reader_for st ~node ~control:false) tree))
+           exec_tree st ~node ~control:false tree))
 
 (** Execute a full DSQL plan against the appliance; returns the client
     result set. *)
@@ -162,29 +185,31 @@ let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
          (* build a dstream for the DMS runtime; the layout ids come from
             the step's declared temp schema *)
          let layout = List.map fst cols in
-         let remap (r : Local.rset) =
+         let nil = Rset.Rows { Local.layout; rows = [] } in
+         let remap (rs : Rset.t) : Rset.t =
            (* generated SELECTs emit the moved columns in declared order *)
-           if List.length r.Local.layout <> List.length layout then
+           let w = List.length (Rset.layout rs) in
+           if w <> List.length layout then
              raise
                (Dsql_exec_error
                   (Printf.sprintf "step %s: arity mismatch (%d vs %d)" temp_table
-                     (List.length r.Local.layout) (List.length layout)));
-           r.Local.rows
+                     w (List.length layout)));
+           Rset.with_layout rs layout
          in
          let stream =
            match stmt with
            | Control_result c ->
-             { Appliance.layout; per_node = Array.make app.Appliance.nodes [];
+             { Appliance.layout; per_node = Array.make app.Appliance.nodes nil;
                control = remap c; dist = Dms.Distprop.Single_node }
            | Replicated_result r ->
              { Appliance.layout;
                per_node = Array.make app.Appliance.nodes (remap r);
-               control = [];
+               control = nil;
                dist = Dms.Distprop.Replicated }
            | Per_node per_node ->
              { Appliance.layout;
                per_node = Array.map remap per_node;
-               control = [];
+               control = nil;
                dist = Dms.Distprop.Hashed [] }
          in
          let out = Appliance.run_move app kind ~cols:layout stream in
@@ -194,7 +219,7 @@ let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
            | Dms.Distprop.Replicated ->
              Replicated_everywhere
                (if Array.length out.Appliance.per_node > 0 then out.Appliance.per_node.(0)
-                else [])
+                else nil)
            | Dms.Distprop.Hashed _ -> On_nodes out.Appliance.per_node
          in
          Hashtbl.replace st.temps (String.lowercase_ascii temp_table) placement;
@@ -217,21 +242,20 @@ let run (app : Appliance.t) (plan : Dsql.Generate.plan) : Local.rset =
            | _ -> tree
          in
          let gathered =
-           if uses_control_temp st body then
-             exec_logical ~read_table:(reader_for st ~node:0 ~control:true) body
-           else if all_replicated st body then
-             exec_logical ~read_table:(reader_for st ~node:0 ~control:false) body
-           else begin
-             let parts =
-               List.init app.Appliance.nodes (fun node ->
-                   exec_logical ~read_table:(reader_for st ~node ~control:false) body)
-             in
-             match parts with
-             | [] -> { Local.layout = []; rows = [] }
-             | first :: _ ->
-               { Local.layout = first.Local.layout;
-                 rows = List.concat_map (fun (p : Local.rset) -> p.Local.rows) parts }
-           end
+           Rset.to_local
+             (if uses_control_temp st body then
+                exec_tree st ~node:0 ~control:true body
+              else if all_replicated st body then
+                exec_tree st ~node:0 ~control:false body
+              else begin
+                let parts =
+                  List.init app.Appliance.nodes (fun node ->
+                      exec_tree st ~node ~control:false body)
+                in
+                match parts with
+                | [] -> Rset.Rows { Local.layout = []; rows = [] }
+                | first :: _ -> Rset.concat ~layout:(Rset.layout first) parts
+              end)
          in
          Appliance.inject_point app Fault.Control_transient;
          let final =

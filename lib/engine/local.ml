@@ -28,16 +28,67 @@ let eval_pred_on layout pred =
   let env = make_env layout in
   fun row -> Expr.eval_pred (env row) pred
 
+(* first [n] elements of a list, without walking the tail (the previous
+   [List.filteri] scanned all rows even for TOP 1) *)
+let take n l =
+  let rec go acc n = function
+    | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+    | _ -> List.rev acc
+  in
+  go [] n l
+
+(* first-occurrence index of every column id in a layout *)
+let make_index (layout : int list) : (int, int) Hashtbl.t =
+  let index = Hashtbl.create (List.length layout) in
+  List.iteri (fun i c -> if not (Hashtbl.mem index c) then Hashtbl.replace index c i) layout;
+  index
+
+(* positions of [cols] in [layout] (first occurrence), for hot-path key
+   extraction without per-row environment lookups *)
+let positions_of (layout : int list) (cols : int list) : int array =
+  let index = make_index layout in
+  Array.of_list
+    (List.map
+       (fun c ->
+          match Hashtbl.find_opt index c with
+          | Some i -> i
+          | None -> raise (Exec_error (Printf.sprintf "column #%d not in layout" c)))
+       cols)
+
 (* key extraction for hashing/grouping *)
-let key_of env row cols = List.map (fun c -> env row c) cols
+let key_of (pos : int array) (row : Catalog.Value.t array) : Catalog.Value.t array =
+  Array.map (fun i -> row.(i)) pos
 
 module Key = struct
-  type t = Catalog.Value.t list
-  let equal a b = List.length a = List.length b && List.for_all2 Catalog.Value.equal a b
-  let hash k = List.fold_left (fun h v -> (h * 31) + Catalog.Value.hash v) 17 k
+  type t = Catalog.Value.t array
+  let equal a b =
+    Array.length a = Array.length b
+    && (let n = Array.length a in
+        let rec go i = i >= n || (Catalog.Value.equal a.(i) b.(i) && go (i + 1)) in
+        go 0)
+  let hash k = Array.fold_left (fun h v -> (h * 31) + Catalog.Value.hash v) 17 k
 end
 
 module KeyTbl = Hashtbl.Make (Key)
+
+(* -- executor observability (merged into Obs by the caller domain) -- *)
+
+(** Per-shard executor statistics, accumulated while a node executes its
+    operators. Pool-safe by construction: each worker writes its own
+    record; the caller merges them into {!Obs} counters after the
+    fan-out. *)
+type exec_stats = {
+  mutable rows_scanned : int;   (** base-table rows produced by scans *)
+  mutable batches : int;        (** operator outputs (one batch per op) *)
+  mutable probe_rows : int;     (** hash-join probe-side input rows *)
+}
+
+let fresh_stats () = { rows_scanned = 0; batches = 0; probe_rows = 0 }
+
+let merge_stats ~(into : exec_stats) (s : exec_stats) =
+  into.rows_scanned <- into.rows_scanned + s.rows_scanned;
+  into.batches <- into.batches + s.batches;
+  into.probe_rows <- into.probe_rows + s.probe_rows
 
 (* -- aggregates -- *)
 
@@ -64,8 +115,8 @@ let agg_feed (a : Expr.agg_def) st (v : Catalog.Value.t option) =
         match st.distinct_seen with
         | None -> true
         | Some seen ->
-          if KeyTbl.mem seen [ v ] then false
-          else begin KeyTbl.replace seen [ v ] (); true end
+          if KeyTbl.mem seen [| v |] then false
+          else begin KeyTbl.replace seen [| v |] (); true end
       in
       if proceed then begin
         st.count <- st.count + 1;
@@ -103,11 +154,12 @@ let agg_result (a : Expr.agg_def) st : Catalog.Value.t =
 
 let run_aggregate ~(keys : int list) ~(aggs : Expr.agg_def list) (input : rset) : rset =
   let env = make_env input.layout in
-  let groups : (Catalog.Value.t list * agg_state array) KeyTbl.t = KeyTbl.create 64 in
+  let kpos = positions_of input.layout keys in
+  let groups : (Catalog.Value.t array * agg_state array) KeyTbl.t = KeyTbl.create 64 in
   let order = ref [] in  (* key insertion order for determinism *)
   List.iter
     (fun row ->
-       let k = key_of env row keys in
+       let k = key_of kpos row in
        let _, states =
          match KeyTbl.find_opt groups k with
          | Some e -> e
@@ -130,16 +182,16 @@ let run_aggregate ~(keys : int list) ~(aggs : Expr.agg_def list) (input : rset) 
          aggs)
     input.rows;
   let emit k states =
-    Array.of_list (k @ List.mapi (fun i a -> agg_result a states.(i)) aggs)
+    Array.append k (Array.of_list (List.mapi (fun i a -> agg_result a states.(i)) aggs))
   in
   let out_rows =
     if keys = [] then begin
       (* scalar aggregate: one row even over empty input *)
-      match KeyTbl.find_opt groups [] with
+      match KeyTbl.find_opt groups [||] with
       | Some (k, sts) -> [ emit k sts ]
       | None ->
         let sts = Array.of_list (List.map (fun a -> new_agg_state a.Expr.agg_distinct) aggs) in
-        [ emit [] sts ]
+        [ emit [||] sts ]
     end
     else
       List.rev_map (fun k -> let _, sts = KeyTbl.find groups k in emit k sts) !order
@@ -201,13 +253,13 @@ let hash_join ~(kind : Relop.join_kind) ~(pred : Expr.t) (l : rset) (r : rset) :
     { layout = out_layout; rows = List.rev !out }
   end
   else begin
-    let lenv = make_env l.layout and renv = make_env r.layout in
-    let lkeys = List.map fst equi and rkeys = List.map snd equi in
+    let lkpos = positions_of l.layout (List.map fst equi) in
+    let rkpos = positions_of r.layout (List.map snd equi) in
     let index : Catalog.Value.t array list KeyTbl.t = KeyTbl.create 256 in
     List.iter
       (fun rrow ->
-         let k = key_of renv rrow rkeys in
-         if not (List.exists Catalog.Value.is_null k) then begin
+         let k = key_of rkpos rrow in
+         if not (Array.exists Catalog.Value.is_null k) then begin
            let cur = try KeyTbl.find index k with Not_found -> [] in
            KeyTbl.replace index k (rrow :: cur)
          end)
@@ -216,9 +268,9 @@ let hash_join ~(kind : Relop.join_kind) ~(pred : Expr.t) (l : rset) (r : rset) :
     let rwidth = List.length r.layout in
     List.iter
       (fun lrow ->
-         let k = key_of lenv lrow lkeys in
+         let k = key_of lkpos lrow in
          let matches =
-           if List.exists Catalog.Value.is_null k then []
+           if Array.exists Catalog.Value.is_null k then []
            else
              match KeyTbl.find_opt index k with
              | Some rs -> List.filter (pred_ok lrow) rs
@@ -254,18 +306,26 @@ let sort_rows ~(keys : Relop.sort_key list) ?limit (input : rset) : rset =
   let sorted = List.stable_sort cmp input.rows in
   let rows =
     match limit with
-    | Some n -> List.filteri (fun i _ -> i < n) sorted
+    | Some n -> take n sorted
     | None -> sorted
   in
   { input with rows }
 
 (** Execute one serial physical operator. [read_table] resolves base-table
-    scans (it receives the table name and returns that node's rows). *)
-let exec_op ~(read_table : string -> rows) (op : Physop.t) (children : rset list) : rset =
-  let child n = List.nth children n in
+    scans (it receives the table name and returns that node's rows).
+    [stats], when given, accumulates executor counters for this shard. *)
+let exec_op ?(stats : exec_stats option) ~(read_table : string -> rows) (op : Physop.t)
+    (children : rset list) : rset =
+  let children = Array.of_list children in
+  let child n = children.(n) in
+  (match stats with Some st -> st.batches <- st.batches + 1 | None -> ());
   match op with
   | Physop.Table_scan { table; cols; _ } ->
-    { layout = Array.to_list cols; rows = read_table table }
+    let rows = read_table table in
+    (match stats with
+     | Some st -> st.rows_scanned <- st.rows_scanned + List.length rows
+     | None -> ());
+    { layout = Array.to_list cols; rows }
   | Physop.Filter pred ->
     let c = child 0 in
     { c with rows = List.filter (eval_pred_on c.layout pred) c.rows }
@@ -278,10 +338,16 @@ let exec_op ~(read_table : string -> rows) (op : Physop.t) (children : rset list
   | Physop.Hash_join { kind; pred } | Physop.Merge_join { kind; pred } ->
     (* merge join is value-equivalent to hash join; order is re-established
        by explicit enforcers where needed *)
+    (match stats with
+     | Some st -> st.probe_rows <- st.probe_rows + List.length (child 0).rows
+     | None -> ());
     hash_join ~kind ~pred (child 0) (child 1)
   | Physop.Nl_join { kind; pred } ->
     (* hash_join falls back to nested loops when the predicate has no
        usable equi pairs *)
+    (match stats with
+     | Some st -> st.probe_rows <- st.probe_rows + List.length (child 0).rows
+     | None -> ());
     hash_join ~kind ~pred (child 0) (child 1)
   | Physop.Hash_agg { keys; aggs } -> run_aggregate ~keys ~aggs (child 0)
   | Physop.Stream_agg { keys; aggs } ->

@@ -11,8 +11,29 @@ type row = Value.t array
 
 type db = {
   sf : float;
-  tables : (string * row list) list;   (** table name -> rows *)
+  tables : (string * Column.table) list;   (** table name -> column-major data *)
 }
+
+(* column-major row sink: generators stream rows into typed column
+   builders, so the full boxed row list never exists — at SF 1 the
+   lineitem table alone is ~6M rows, only feasible columnar *)
+type sink = { bs : Column.Builder.t array; mutable n : int }
+
+let sink ?capacity width : sink =
+  { bs = Array.init width (fun _ -> Column.Builder.create ?capacity ()); n = 0 }
+
+let push (s : sink) (row : row) =
+  Array.iteri (fun j v -> Column.Builder.add s.bs.(j) v) row;
+  s.n <- s.n + 1
+
+let finish (s : sink) : Column.table =
+  { Column.nrows = s.n; cols = Array.map Column.Builder.finish s.bs }
+
+(* fixed-cardinality table: one row per index *)
+let collect ~width n (gen : int -> row) : Column.table =
+  let s = sink ~capacity:(max 1 n) width in
+  for i = 0 to n - 1 do push s (gen i) done;
+  finish s
 
 (* -- PRNG: splitmix64 -- *)
 
@@ -104,19 +125,18 @@ let counts sf =
 (* -- per-table generators -- *)
 
 let gen_region () =
-  Array.to_list regions
-  |> List.mapi (fun i name ->
+  collect ~width:3 (Array.length regions) (fun i ->
       let r = rng_of ~table:"region" ~row:i in
-      [| Value.Int i; Value.String name; Value.String (comment r 5) |])
+      [| Value.Int i; Value.String regions.(i); Value.String (comment r 5) |])
 
 let gen_nation () =
-  Array.to_list nations
-  |> List.mapi (fun i (name, region) ->
+  collect ~width:4 (Array.length nations) (fun i ->
+      let name, region = nations.(i) in
       let r = rng_of ~table:"nation" ~row:i in
       [| Value.Int i; Value.String name; Value.Int region; Value.String (comment r 5) |])
 
 let gen_supplier n =
-  List.init n (fun i ->
+  collect ~width:7 n (fun i ->
       let k = i + 1 in
       let r = rng_of ~table:"supplier" ~row:k in
       let special = rand_int r 0 99 < 5 in
@@ -132,7 +152,7 @@ let gen_supplier n =
             else comment r 6) |])
 
 let gen_customer n =
-  List.init n (fun i ->
+  collect ~width:8 n (fun i ->
       let k = i + 1 in
       let r = rng_of ~table:"customer" ~row:k in
       [| Value.Int k;
@@ -146,7 +166,7 @@ let gen_customer n =
          Value.String (comment r 6) |])
 
 let gen_part n =
-  List.init n (fun i ->
+  collect ~width:9 n (fun i ->
       let k = i + 1 in
       let r = rng_of ~table:"part" ~row:k in
       let name =
@@ -164,20 +184,24 @@ let gen_part n =
          Value.String (comment r 4) |])
 
 let gen_partsupp ~nparts ~nsuppliers ~per_part =
-  List.concat
-    (List.init nparts (fun i ->
-         let pk = i + 1 in
-         List.init per_part (fun j ->
-             let r = rng_of ~table:"partsupp" ~row:((pk * 7) + j) in
-             let sk = ((pk + (j * (nsuppliers / per_part + 1))) mod nsuppliers) + 1 in
-             [| Value.Int pk;
-                Value.Int sk;
-                Value.Int (rand_int r 1 9999);
-                Value.Float (rand_float r 1. 1000.);
-                Value.String (comment r 8) |])))
+  let s = sink ~capacity:(max 1 (nparts * per_part)) 5 in
+  for i = 0 to nparts - 1 do
+    let pk = i + 1 in
+    for j = 0 to per_part - 1 do
+      let r = rng_of ~table:"partsupp" ~row:((pk * 7) + j) in
+      let sk = ((pk + (j * (nsuppliers / per_part + 1))) mod nsuppliers) + 1 in
+      push s
+        [| Value.Int pk;
+           Value.Int sk;
+           Value.Int (rand_int r 1 9999);
+           Value.Float (rand_float r 1. 1000.);
+           Value.String (comment r 8) |]
+    done
+  done;
+  finish s
 
 let gen_orders ~norders ~ncustomers =
-  List.init norders (fun i ->
+  collect ~width:9 norders (fun i ->
       let k = i + 1 in
       let r = rng_of ~table:"orders" ~row:k in
       (* dbgen: only 2/3 of customers have orders *)
@@ -196,40 +220,43 @@ let gen_orders ~norders ~ncustomers =
          Value.Int 0;
          Value.String (comment r 5) |])
 
-let gen_lineitem ~norders ~nparts ~nsuppliers (orders : row list) =
-  List.concat
-    (List.map
-       (fun (o : row) ->
-          let ok = match o.(0) with Value.Int k -> k | _ -> assert false in
-          let odate = match o.(4) with Value.Date d -> d | _ -> assert false in
-          let r = rng_of ~table:"lineitem" ~row:ok in
-          let nlines = rand_int r 1 7 in
-          ignore norders;
-          List.init nlines (fun ln ->
-              let pk = rand_int r 1 nparts in
-              let sk = ((pk + (rand_int r 0 3 * (nsuppliers / 4 + 1))) mod nsuppliers) + 1 in
-              let qty = float_of_int (rand_int r 1 50) in
-              let price = qty *. rand_float r 90. 2000. in
-              let ship = odate + rand_int r 1 121 in
-              let commit = odate + rand_int r 30 90 in
-              let receipt = ship + rand_int r 1 30 in
-              [| Value.Int ok;
-                 Value.Int pk;
-                 Value.Int sk;
-                 Value.Int (ln + 1);
-                 Value.Float qty;
-                 Value.Float price;
-                 Value.Float (float_of_int (rand_int r 0 10) /. 100.);
-                 Value.Float (float_of_int (rand_int r 0 8) /. 100.);
-                 Value.String (pick r [| "R"; "A"; "N" |]);
-                 Value.String (pick r [| "O"; "F" |]);
-                 Value.Date ship;
-                 Value.Date commit;
-                 Value.Date receipt;
-                 Value.String (pick r instructs);
-                 Value.String (pick r modes);
-                 Value.String (comment r 3) |]))
-       orders)
+let gen_lineitem ~norders ~nparts ~nsuppliers (orders : Column.table) =
+  ignore norders;
+  let okey = orders.Column.cols.(0) and odate_c = orders.Column.cols.(4) in
+  let s = sink ~capacity:(max 1 (orders.Column.nrows * 4)) 16 in
+  for oi = 0 to orders.Column.nrows - 1 do
+    let ok = match Column.get okey oi with Value.Int k -> k | _ -> assert false in
+    let odate = match Column.get odate_c oi with Value.Date d -> d | _ -> assert false in
+    let r = rng_of ~table:"lineitem" ~row:ok in
+    let nlines = rand_int r 1 7 in
+    for ln = 0 to nlines - 1 do
+      let pk = rand_int r 1 nparts in
+      let sk = ((pk + (rand_int r 0 3 * (nsuppliers / 4 + 1))) mod nsuppliers) + 1 in
+      let qty = float_of_int (rand_int r 1 50) in
+      let price = qty *. rand_float r 90. 2000. in
+      let ship = odate + rand_int r 1 121 in
+      let commit = odate + rand_int r 30 90 in
+      let receipt = ship + rand_int r 1 30 in
+      push s
+        [| Value.Int ok;
+           Value.Int pk;
+           Value.Int sk;
+           Value.Int (ln + 1);
+           Value.Float qty;
+           Value.Float price;
+           Value.Float (float_of_int (rand_int r 0 10) /. 100.);
+           Value.Float (float_of_int (rand_int r 0 8) /. 100.);
+           Value.String (pick r [| "R"; "A"; "N" |]);
+           Value.String (pick r [| "O"; "F" |]);
+           Value.Date ship;
+           Value.Date commit;
+           Value.Date receipt;
+           Value.String (pick r instructs);
+           Value.String (pick r modes);
+           Value.String (comment r 3) |]
+    done
+  done;
+  finish s
 
 (** Generate the whole database at scale factor [sf]. *)
 let generate sf : db =
@@ -249,9 +276,13 @@ let generate sf : db =
   in
   { sf; tables }
 
-let rows db name =
+(** Column-major contents of a table. *)
+let table db name : Column.table =
   match List.assoc_opt (String.lowercase_ascii name) db.tables with
-  | Some r -> r
-  | None -> invalid_arg ("Datagen.rows: unknown table " ^ name)
+  | Some t -> t
+  | None -> invalid_arg ("Datagen.table: unknown table " ^ name)
+
+(** Row-major view of a table (materializes boxed rows). *)
+let rows db name : row list = Column.table_rows (table db name)
 
 let _ = date_of (* exported convenience *)

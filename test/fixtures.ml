@@ -4,6 +4,10 @@
 let tpch_workload : Opdw.Workload.t Lazy.t =
   lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.002 ())
 
+(* the same data on the columnar engine (shards and stats are identical) *)
+let tpch_columnar : Opdw.Workload.t Lazy.t =
+  lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.002 ~engine:Engine.Rset.Columnar ())
+
 let shell () = (Lazy.force tpch_workload).Opdw.Workload.shell
 let app () = (Lazy.force tpch_workload).Opdw.Workload.app
 

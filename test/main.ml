@@ -15,6 +15,7 @@ let () =
       ("dsql", Test_dsql.suite);
       ("dsql_exec", Test_dsql_exec.suite);
       ("engine", Test_engine.suite);
+      ("columnar", Test_columnar.suite);
       ("baseline", Test_baseline.suite);
       ("tpch", Test_tpch.suite);
       ("check", Test_check.suite);

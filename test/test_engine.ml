@@ -184,7 +184,11 @@ let test_load_partitions_disjoint () =
 
 let dstream_of app layout rows_per_node dist =
   ignore app;
-  { Engine.Appliance.layout; per_node = rows_per_node; control = []; dist }
+  let rs rows = Engine.Rset.Rows { Engine.Local.layout; rows } in
+  { Engine.Appliance.layout; per_node = Array.map rs rows_per_node;
+    control = rs []; dist }
+
+let shard_rows rs = (Engine.Rset.to_local rs).Engine.Local.rows
 
 let test_shuffle_routes_consistently () =
   let app, _ = mini_appliance () in
@@ -195,14 +199,14 @@ let test_shuffle_routes_consistently () =
   in
   let out = Engine.Appliance.run_move app (Dms.Op.Shuffle [ ca ]) ~cols:[ ca; cb ] input in
   Alcotest.(check int) "all 40 rows survive" 40
-    (Array.fold_left (fun a l -> a + List.length l) 0 out.Engine.Appliance.per_node);
+    (Array.fold_left (fun a rs -> a + Engine.Rset.count rs) 0 out.Engine.Appliance.per_node);
   Array.iteri
-    (fun node l ->
+    (fun node rs ->
        List.iter
          (fun (row : Value.t array) ->
             Alcotest.(check int) "routed by hash" node
               (Engine.Appliance.route_hash [ row.(0) ] mod 4))
-         l)
+         (shard_rows rs))
     out.Engine.Appliance.per_node
 
 let test_broadcast_replicates () =
@@ -214,7 +218,7 @@ let test_broadcast_replicates () =
   in
   let out = Engine.Appliance.run_move app Dms.Op.Broadcast ~cols:[ ca ] input in
   Array.iter
-    (fun l -> Alcotest.(check int) "full copy everywhere" 4 (List.length l))
+    (fun rs -> Alcotest.(check int) "full copy everywhere" 4 (Engine.Rset.count rs))
     out.Engine.Appliance.per_node
 
 let test_trim_keeps_own () =
@@ -226,7 +230,7 @@ let test_trim_keeps_own () =
   let before_net = app.Engine.Appliance.account.Engine.Appliance.bytes_moved in
   let out = Engine.Appliance.run_move app (Dms.Op.Trim [ ca ]) ~cols:[ ca ] input in
   Alcotest.(check int) "exactly one copy survives" 20
-    (Array.fold_left (fun a l -> a + List.length l) 0 out.Engine.Appliance.per_node);
+    (Array.fold_left (fun a rs -> a + Engine.Rset.count rs) 0 out.Engine.Appliance.per_node);
   Alcotest.(check (float 0.)) "no network traffic" before_net
     app.Engine.Appliance.account.Engine.Appliance.bytes_moved
 
@@ -238,7 +242,7 @@ let test_partition_move_gathers () =
       (Dms.Distprop.Hashed [ ca ])
   in
   let out = Engine.Appliance.run_move app Dms.Op.Partition_move ~cols:[ ca ] input in
-  Alcotest.(check int) "all on control" 4 (List.length out.Engine.Appliance.control);
+  Alcotest.(check int) "all on control" 4 (Engine.Rset.count out.Engine.Appliance.control);
   Alcotest.(check bool) "single node dist" true
     (out.Engine.Appliance.dist = Dms.Distprop.Single_node)
 
