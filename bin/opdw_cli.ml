@@ -98,9 +98,11 @@ let budget_t =
 let jobs_t =
   Arg.(value & opt int 0
        & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Domains executing per-node shards of each DSQL step in parallel \
-               (simulated times are unaffected). 0 = the machine's recommended \
-               domain count.")
+         ~doc:"Domains used both to compile (plan enumeration over the MEMO's \
+               dependency levels) and to execute per-node shards of each DSQL \
+               step in parallel. The chosen plan and the simulated times are \
+               bit-identical at any N. 0 = the machine's recommended domain \
+               count.")
 
 let no_cache_t =
   Arg.(value & flag
@@ -232,13 +234,16 @@ let options_of ~nodes ~seed ~budget =
 
 (* -- explain -- *)
 
-let explain nodes sf query sql file seed budget no_cache check verbose profile debug =
+let explain nodes sf query sql file seed budget jobs no_cache check verbose profile
+    debug =
   let w = setup ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let options = options_of ~nodes ~seed ~budget in
   let obs = make_obs ~profile ~debug in
   let r =
-    Opdw.optimize ~obs ~options ?cache:(make_cache no_cache) ~check
+    Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+    @@ fun pool ->
+    Opdw.optimize ~obs ~options ?cache:(make_cache no_cache) ~check ~pool
       w.Opdw.Workload.shell text
   in
   let reg = r.Opdw.memo.Memo.reg in
@@ -265,7 +270,7 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc:"Optimize a query and print its plans.")
     Term.(const explain $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t
-          $ no_cache_t $ check_t $ verbose $ profile_t $ debug_t)
+          $ jobs_t $ no_cache_t $ check_t $ verbose $ profile_t $ debug_t)
 
 (* -- run -- *)
 

@@ -228,12 +228,12 @@ let normalize_stage reg shell : (Algebra.Relop.t, Algebra.Relop.t) Stage.t =
 (** [serial]: logical tree -> explored MEMO + best serial plan. The token
     and memo budget cut exploration anytime-style (a plan still comes
     back, flagged [interrupted]). *)
-let serial_stage opts seeds token max_memo_groups reg shell
+let serial_stage opts seeds token max_memo_groups pool reg shell
   : (Algebra.Relop.t, Serialopt.Optimizer.result) Stage.t =
   Stage.v ~name:"serial_optimize"
     (fun obs t ->
        Serialopt.Optimizer.optimize ~obs ~opts ~seeds ~token ?max_memo_groups
-         reg shell t)
+         ~pool reg shell t)
 
 (** [memo_xml]: MEMO -> (XML encoding, re-imported MEMO) — the paper's
     interchange between the SQL Server process and the PDW optimizer. *)
@@ -244,10 +244,14 @@ let memo_xml_stage shell : (Memo.t, string option * Memo.t) Stage.t =
 
 (** [pdw]: imported MEMO -> distributed plan (Fig. 4, steps 01-09). A
     token trip raises {!Governor.Cancelled} — the caller degrades to the
-    baseline fallback. *)
-let pdw_stage opts token : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
+    baseline fallback. [upper_bound] seeds the fixed pruning bound from
+    the baseline plan's DMS cost (with a relative margin so the winner is
+    never bound-pruned on a float tie). *)
+let pdw_stage opts token pool upper_bound
+  : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
   Stage.v ~name:"pdw_optimize"
-    (fun obs m -> Pdwopt.Optimizer.optimize ~obs ~opts ~token m)
+    (fun obs m ->
+       Pdwopt.Optimizer.optimize ~obs ~opts ~token ~pool ?upper_bound m)
 
 (** [dsql]: distributed plan -> DSQL steps (Fig. 4, steps 10-11). *)
 let dsql_stage reg : (Pdwopt.Pplan.t, Dsql.Generate.plan) Stage.t =
@@ -285,6 +289,7 @@ let baseline_stage opts reg shell
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
     ?(check = true) ?(live_nodes : int list option) ?(token = Governor.none)
+    ?(pool = Par.sequential)
     (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
@@ -347,7 +352,7 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
     let serial =
       Stage.run obs
         (serial_stage opts.serial seeds token opts.governor.Governor.max_memo_groups
-           reg shell)
+           pool reg shell)
         normalized
     in
     let memo_xml, memo =
@@ -355,8 +360,26 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
         Stage.run obs (memo_xml_stage shell) serial.Serialopt.Optimizer.memo
       else (None, serial.Serialopt.Optimizer.memo)
     in
+    (* The baseline runs before the PDW enumeration so its plan can seed
+       the enumeration's fixed cost upper bound (and so a fallback after a
+       mid-enumeration cancellation reuses it instead of recomputing). It
+       allocates no registry columns, so the hoist does not shift the ids
+       the enumeration's aggregation splits allocate. *)
+    let baseline_plan =
+      Stage.run obs (baseline_stage opts.baseline reg shell)
+        serial.Serialopt.Optimizer.best
+    in
+    let upper_bound =
+      Option.map
+        (fun (b : Pdwopt.Pplan.t) ->
+           (* margin: strictly above the baseline's cost, so the enumerated
+              plan that matches or beats the baseline is never pruned even
+              under float rounding *)
+           (b.Pdwopt.Pplan.dms_cost *. (1. +. 1e-9)) +. 1e-9)
+        baseline_plan
+    in
     match
-      let pdw = Stage.run obs (pdw_stage opts.pdw token) memo in
+      let pdw = Stage.run obs (pdw_stage opts.pdw token pool upper_bound) memo in
       let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
       if check then
         Stage.run obs
@@ -365,10 +388,6 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
       (pdw, dsql)
     with
     | pdw, dsql ->
-      let baseline_plan =
-        Stage.run obs (baseline_stage opts.baseline reg shell)
-          serial.Serialopt.Optimizer.best
-      in
       let degraded =
         if serial.Serialopt.Optimizer.interrupted <> None then Some Anytime
         else None
@@ -378,14 +397,11 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
         degraded )
     | exception (Governor.Cancelled _ as cancelled) ->
       (* The PDW enumeration was interrupted: degrade to the §3.2 baseline
-         — the best serial plan parallelized greedily. The fallback runs
-         to completion even on an expired token (none of its stages poll),
-         so the degradation overhead is a bounded constant. *)
+         — the best serial plan parallelized greedily (already computed
+         above). The fallback runs to completion even on an expired token
+         (none of its stages poll), so the degradation overhead is a
+         bounded constant. *)
       Obs.with_span obs "governor.fallback" @@ fun () ->
-      let baseline_plan =
-        Stage.run obs (baseline_stage opts.baseline reg shell)
-          serial.Serialopt.Optimizer.best
-      in
       (match baseline_plan with
        | None ->
          (* nothing to degrade to: surface the cancellation itself *)
@@ -406,7 +422,8 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
              options = Hashtbl.create 1;
              stats =
                { Pdwopt.Enumerate.pdw_exprs_enumerated = 0; options_kept = 0;
-                 groups_processed = 0; enforcer_moves = 0 };
+                 groups_processed = 0; enforcer_moves = 0; par_levels = 0;
+                 par_groups = 0 };
              derived = Pdwopt.Derive.derive memo }
          in
          ( { c_serial = serial; c_memo_xml = memo_xml; c_memo = memo;
@@ -532,7 +549,10 @@ module Chaos = struct
     let rec go replans =
       Engine.Appliance.set_fault t.app t.fault;
       let live = Engine.Appliance.live_nodes t.app in
-      let r = optimize ~obs ~options:t.options ?cache:t.cache ~live_nodes:live t.shell sql in
+      let r =
+        optimize ~obs ~options:t.options ?cache:t.cache ~live_nodes:live
+          ~pool:t.app.Engine.Appliance.pool t.shell sql
+      in
       match execute_result ~obs ?cache:t.cache t.app r with
       | rows -> (r, rows)
       | exception Fault.Injected ({ Fault.site = Fault.Node_crash; _ } as failure) ->
@@ -651,8 +671,12 @@ module Governed = struct
         let token = Governor.create () in
         try
           let r =
+            (* compile on the appliance's pool too: with the leveled
+               wavefront, `--jobs` covers compilation, not just shard
+               execution *)
             optimize ~obs ~options:t.options ?cache:t.cache ~check:t.check
-              ~live_nodes:(Engine.Appliance.live_nodes t.app) ~token t.shell sql
+              ~live_nodes:(Engine.Appliance.live_nodes t.app) ~token
+              ~pool:t.app.Engine.Appliance.pool t.shell sql
           in
           (* compilation can overlap across gate slots; execution of the
              shared appliance is one statement at a time *)

@@ -138,10 +138,15 @@ val cache : ?capacity:int -> unit -> cache
     to [Anytime]; a cut during PDW enumeration degrades to the [Fallback]
     baseline plan; if no fallback exists, {!Governor.Cancelled}
     propagates. Degraded results are tagged in [degraded], validated by
-    {!Check} unconditionally, and never cached. *)
+    {!Check} unconditionally, and never cached.
+
+    [pool] parallelizes compilation itself: serial exploration's rule
+    matching and the PDW enumeration's leveled wavefront both fan out on
+    it. The chosen plan — fingerprint, costs, DSQL text — is bit-identical
+    at any pool size (default: the shared sequential pool). *)
 val optimize :
   ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
-  ?live_nodes:int list -> ?token:Governor.token ->
+  ?live_nodes:int list -> ?token:Governor.token -> ?pool:Par.t ->
   Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)

@@ -8,51 +8,43 @@ let reason_to_string = function
 exception Cancelled of { reason : reason; where : string }
 
 (* A token is shared across domains (the statement's caller arms it, pool
-   workers could observe it), so the flag and deadline list are mutated
-   only under [mu]. Reads in [state] take the mutex too: polls happen at
-   task granularity (per rule / per group / per step), so the cost is
-   noise next to the work between polls. *)
+   workers may observe it), so the flag and deadline list are lock-free
+   atomics: [state]/[should_stop] are safe to call from any domain with no
+   mutex — the optimizer polls at task granularity (per rule / per level /
+   per step) and a poll must never serialize the pool. The deadline list is
+   append-only via CAS. *)
 type token = {
   live : bool;
-  mu : Mutex.t;
-  mutable cancelled : bool;
-  mutable deadlines : (float * (unit -> float)) list;
+  cancelled : bool Atomic.t;
+  deadlines : (float * (unit -> float)) list Atomic.t;
 }
 
-let none = { live = false; mu = Mutex.create (); cancelled = false; deadlines = [] }
+let none = { live = false; cancelled = Atomic.make false; deadlines = Atomic.make [] }
 
 let create () =
-  { live = true; mu = Mutex.create (); cancelled = false; deadlines = [] }
+  { live = true; cancelled = Atomic.make false; deadlines = Atomic.make [] }
 
 let wall_clock = Obs.default_clock
 
 let add_deadline t ~clock ~deadline =
   if t.live then begin
-    Mutex.lock t.mu;
-    t.deadlines <- (deadline, clock) :: t.deadlines;
-    Mutex.unlock t.mu
+    let rec push () =
+      let cur = Atomic.get t.deadlines in
+      if not (Atomic.compare_and_set t.deadlines cur ((deadline, clock) :: cur))
+      then push ()
+    in
+    push ()
   end
 
-let cancel t =
-  if t.live then begin
-    Mutex.lock t.mu;
-    t.cancelled <- true;
-    Mutex.unlock t.mu
-  end
+let cancel t = if t.live then Atomic.set t.cancelled true
 
 let state t =
   if not t.live then None
-  else begin
-    Mutex.lock t.mu;
-    let r =
-      if t.cancelled then Some Cancel
-      else if List.exists (fun (d, clock) -> clock () >= d) t.deadlines then
-        Some Deadline
-      else None
-    in
-    Mutex.unlock t.mu;
-    r
-  end
+  else if Atomic.get t.cancelled then Some Cancel
+  else if
+    List.exists (fun (d, clock) -> clock () >= d) (Atomic.get t.deadlines)
+  then Some Deadline
+  else None
 
 let should_stop t = state t <> None
 

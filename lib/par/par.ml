@@ -69,7 +69,16 @@ let parallel_for t n body =
   else begin
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
-    let failed = Atomic.make None in
+    (* lowest failing index wins, so the exception that surfaces is the one
+       sequential execution would have hit, whatever the schedule *)
+    let failed : (int * exn) option Atomic.t = Atomic.make None in
+    let rec record_failure i e =
+      match Atomic.get failed with
+      | Some (j, _) when j <= i -> ()
+      | cur ->
+        if not (Atomic.compare_and_set failed cur (Some (i, e))) then
+          record_failure i e
+    in
     let fm = Mutex.create () and fc = Condition.create () in
     let finish_one () =
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
@@ -79,7 +88,10 @@ let parallel_for t n body =
       end
     in
     (* claim indices until the space is exhausted; on failure, fail fast by
-       claiming (and skipping) the rest so [remaining] still reaches 0 *)
+       claiming (and skipping) the rest so [remaining] still reaches 0.
+       Claims are ascending, so every skipped index exceeds some recorded
+       failure — the minimum recorded index is exactly the first index that
+       fails under sequential execution. *)
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -89,7 +101,7 @@ let parallel_for t n body =
            (try
               body i;
               Atomic.incr t.tasks
-            with e -> ignore (Atomic.compare_and_set failed None (Some e))));
+            with e -> record_failure i e));
         finish_one ();
         drain ()
       end
@@ -108,7 +120,7 @@ let parallel_for t n body =
       Condition.wait fc fm
     done;
     Mutex.unlock fm;
-    match Atomic.get failed with Some e -> raise e | None -> ()
+    match Atomic.get failed with Some (_, e) -> raise e | None -> ()
   end
 
 let parallel_map t f arr =
@@ -121,6 +133,16 @@ let parallel_map t f arr =
   end
 
 let parallel_iter t f arr = parallel_for t (Array.length arr) (fun i -> f arr.(i))
+
+let parallel_levels t ?(before_level = fun _ _ -> ())
+    ?(after_level = fun _ _ -> ()) f levels =
+  let out = Array.make (Array.length levels) [||] in
+  for li = 0 to Array.length levels - 1 do
+    before_level li levels.(li);
+    out.(li) <- parallel_map t f levels.(li);
+    after_level li out.(li)
+  done;
+  out
 
 let with_pool ~jobs f =
   let t = create ~jobs () in

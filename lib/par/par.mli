@@ -38,10 +38,12 @@ val jobs : t -> int
 val tasks_run : t -> int
 
 (** [parallel_for t n body] runs [body i] for [i = 0 .. n-1], distributing
-    iterations over the pool. Returns when every body has finished. The
-    first exception raised by any body is re-raised in the caller (further
-    unstarted iterations are skipped). Bodies must only write to disjoint
-    state (e.g. slot [i] of a result array). *)
+    iterations over the pool. Returns when every body has finished. If any
+    bodies raise, the exception from the {e lowest-index} failing body is
+    re-raised in the caller — the same exception sequential execution would
+    surface, whatever the schedule (iterations claimed after a failure are
+    skipped). Bodies must only write to disjoint state (e.g. slot [i] of a
+    result array). *)
 val parallel_for : t -> int -> (int -> unit) -> unit
 
 (** [parallel_map t f arr] is [Array.map f arr] with [f] applications
@@ -51,6 +53,20 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_iter t f arr] is [Array.iter f arr] with no ordering
     guarantee between elements ([f] must tolerate any interleaving). *)
 val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
+
+(** [parallel_levels t f levels] is the leveled wavefront fan-out: levels
+    run strictly in order (a barrier between consecutive levels), items
+    {e within} a level run as a {!parallel_map}. [before_level li items]
+    runs in the caller before level [li] is dispatched — the place for
+    cancellation polls. [after_level li results] runs in the caller once
+    level [li] has fully completed, before the next level is dispatched —
+    the place to publish the level's results so the next level reads only
+    fully-built entries. Result shape mirrors the input:
+    [out.(li).(i) = f levels.(li).(i)]. *)
+val parallel_levels :
+  t -> ?before_level:(int -> 'a array -> unit) ->
+  ?after_level:(int -> 'b array -> unit) -> ('a -> 'b) ->
+  'a array array -> 'b array array
 
 (** Stop the workers and join their domains. The pool degrades to
     sequential execution afterwards (calls remain valid). Idempotent. *)

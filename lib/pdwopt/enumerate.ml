@@ -1,5 +1,7 @@
 (** Bottom-up enumeration of distributed plans over the imported MEMO
-    (paper Fig. 4, steps 05-07):
+    (paper Fig. 4, steps 05-07), parallelized as a leveled wavefront over
+    the domain pool (Trummer & Koch: partition bottom-up enumeration by
+    memo dependency level):
 
     - step 06.i: for each group, enumerate PDW options by considering all
       combinations of the child groups' kept options; a serial operator is
@@ -7,9 +9,27 @@
       (collocated/directed/broadcast joins, local group-bys, and the
       local-global aggregation split);
     - step 06.ii: cost-based pruning — keep the best option per output
-      distribution (best overall plus best per interesting property);
+      distribution (best overall plus best per interesting property), and
+      drop any option whose cumulative DMS cost exceeds a fixed shared
+      upper bound (seeded from the serial baseline plan by the pipeline);
     - step 07: enforcer step — add data movement expressions producing each
-      interesting distribution, costed with the DMS cost model. *)
+      interesting distribution, costed with the DMS cost model.
+
+    Parallel structure and determinism: a sequential pre-pass walks the
+    memo exactly as the old recursive enumeration did, computing each
+    group's dependency level (1 + max over child levels, back edges
+    ignored), pre-allocating every aggregation split's fresh registry
+    columns in that same visit order, and path-compressing the group
+    union-find so worker-side lookups are read-only. Groups within a level
+    are then [Par.parallel_map]ed: each group's work is a pure function of
+    its children's already-published option lists, results land at their
+    input index, and the caller publishes a level's option lists only after
+    the whole level completes. A back-edge child has a strictly higher
+    level than its parent, so its table entry is absent when the parent
+    runs — the lookup returns [], reproducing the old cycle guard. The
+    upper bound is fixed for the whole pass and pruning is strict ([>],
+    never ties), so the kept tables — and therefore the winning plan — are
+    identical at any [jobs] and any schedule. *)
 
 open Algebra
 open Memo
@@ -43,25 +63,46 @@ type stats = {
   mutable groups_processed : int;
   mutable enforcer_moves : int;
       (** Move expressions added by the enforcer step (Fig. 4, step 07) *)
+  mutable par_levels : int;  (** dependency levels in the wavefront *)
+  mutable par_groups : int;  (** groups dispatched through the pool *)
 }
+
+let fresh_stats () =
+  { pdw_exprs_enumerated = 0; options_kept = 0; groups_processed = 0;
+    enforcer_moves = 0; par_levels = 0; par_groups = 0 }
 
 type ctx = {
   m : Memo.t;
   derived : Derive.t;
   o : opts;
   table : (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t;
-  in_progress : (int, unit) Hashtbl.t;
+  splits : (int * int, split option) Hashtbl.t;
+      (* (group, expr index) -> aggregation split, precomputed sequentially
+         so registry allocation never happens on a worker domain *)
+  bound : float Atomic.t;
+      (* fixed DMS-cost upper bound; [infinity] when no baseline is known *)
   stats : stats;
   token : Governor.token;
+  pool : Par.t;
 }
 
-let create_ctx ?(token = Governor.none) m derived o =
+(* -- local/global aggregation split -- *)
+
+and split = {
+  local_aggs : Expr.agg_def list;
+  global_aggs : Expr.agg_def list;
+  post_defs : (int * Expr.t) list option;
+      (** when AVG is present: a Compute restoring the original outputs *)
+}
+
+let create_ctx ?(token = Governor.none) ?(pool = Par.sequential) ?upper_bound
+    m derived o =
   { m; derived; o;
     table = Hashtbl.create 64;
-    in_progress = Hashtbl.create 8;
-    stats = { pdw_exprs_enumerated = 0; options_kept = 0; groups_processed = 0;
-              enforcer_moves = 0 };
-    token }
+    splits = Hashtbl.create 8;
+    bound = Atomic.make (Option.value upper_bound ~default:infinity);
+    stats = fresh_stats ();
+    token; pool }
 
 let options_table ctx = ctx.table
 let stats_of ctx = ctx.stats
@@ -86,25 +127,24 @@ let total_cost o (p : Pplan.t) =
 
 let dist_key (d : Dms.Distprop.t) = Dms.Distprop.short_string d
 
-let add_option ctx acc (p : Pplan.t) =
-  ctx.stats.pdw_exprs_enumerated <- ctx.stats.pdw_exprs_enumerated + 1;
+(* [st] is the calling group's private counter block: workers never touch
+   the shared [ctx.stats] (the caller merges at publish time). The bound
+   check is strict and the bound never changes during a pass, so the same
+   options are dropped at any jobs; an option above the bound can never be
+   part of a winning plan because DMS cost only accumulates upward. *)
+let add_option ctx st acc (p : Pplan.t) =
+  st.pdw_exprs_enumerated <- st.pdw_exprs_enumerated + 1;
   if ctx.o.prune then begin
-    let k = dist_key p.Pplan.dist in
-    match List.assoc_opt k !acc with
-    | Some (_, best) when total_cost ctx.o best <= total_cost ctx.o p -> ()
-    | _ -> acc := (k, (p.Pplan.dist, p)) :: List.remove_assoc k !acc
+    if p.Pplan.dms_cost > Atomic.get ctx.bound then ()
+    else begin
+      let k = dist_key p.Pplan.dist in
+      match List.assoc_opt k !acc with
+      | Some (_, best) when total_cost ctx.o best <= total_cost ctx.o p -> ()
+      | _ -> acc := (k, (p.Pplan.dist, p)) :: List.remove_assoc k !acc
+    end
   end
   else if List.length !acc < ctx.o.max_options_per_group then
     acc := (string_of_int (List.length !acc), (p.Pplan.dist, p)) :: !acc
-
-(* -- local/global aggregation split -- *)
-
-type split = {
-  local_aggs : Expr.agg_def list;
-  global_aggs : Expr.agg_def list;
-  post_defs : (int * Expr.t) list option;
-      (** when AVG is present: a Compute restoring the original outputs *)
-}
 
 let split_aggs reg keys (aggs : Expr.agg_def list) : split option =
   if List.exists (fun a -> a.Expr.agg_distinct) aggs then None
@@ -182,35 +222,9 @@ let scan_dist ctx (table : string) (cols : int array) : Dms.Distprop.t =
        in
        Dms.Distprop.Hashed ids)
 
-let rec optimize_group ctx gid : (Dms.Distprop.t * Pplan.t) list =
-  (* Raising poll at group granularity. Unwinding abandons this ctx (the
-     option table may hold in_progress guards from interrupted parents);
-     callers always build a fresh ctx per optimize call, so nothing
-     shared is corrupted. *)
-  Governor.poll ~where:"pdw.enumerate" ctx.token;
-  let gid = Memo.find ctx.m gid in
-  match Hashtbl.find_opt ctx.table gid with
-  | Some opts -> opts
-  | None ->
-    if Hashtbl.mem ctx.in_progress gid then []  (* cycle guard *)
-    else begin
-      Hashtbl.replace ctx.in_progress gid ();
-      let acc = ref [] in
-      let gprops = Memo.props ctx.m gid in
-      List.iter (enumerate_expr ctx gid gprops acc) (Memo.physical_exprs ctx.m gid);
-      enforcer_step ctx gid gprops acc;
-      Hashtbl.remove ctx.in_progress gid;
-      let result = List.map snd !acc in
-      let result = apply_hints ctx gid result in
-      Hashtbl.replace ctx.table gid result;
-      ctx.stats.groups_processed <- ctx.stats.groups_processed + 1;
-      ctx.stats.options_kept <- ctx.stats.options_kept + List.length result;
-      result
-    end
-
 (* §3.1 hints: a group whose expressions scan a hinted base table keeps only
    the options matching the hinted strategy (unless that would leave none). *)
-and apply_hints ctx gid options =
+let apply_hints ctx gid options =
   if ctx.o.hints = [] then options
   else begin
     let aliases =
@@ -241,7 +255,12 @@ and apply_hints ctx gid options =
        | kept -> kept)
   end
 
-and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) =
+(* [lookup c] reads a child group's published options. Children on lower
+   levels are always published; a back-edge child (level strictly above the
+   parent's) is not yet, and yields [] exactly like the old in-progress
+   cycle guard. *)
+let enumerate_expr ctx st lookup gid gprops acc idx
+    ((op : Physop.t), (children : int array)) =
   let o = ctx.o in
   let mk_serial ?(rows = gprops.Memo.card) op dist (child_plans : Pplan.t list) =
     let serial =
@@ -257,14 +276,14 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
   match op, Array.to_list children with
   | Physop.Table_scan { table; cols; _ }, [] ->
     let dist = scan_dist ctx table cols in
-    add_option ctx acc (mk_serial op dist [])
+    add_option ctx st acc (mk_serial op dist [])
   | Physop.Const_empty _, [] ->
-    add_option ctx acc (mk_serial op Dms.Distprop.Replicated []);
-    add_option ctx acc (mk_serial op Dms.Distprop.Single_node [])
+    add_option ctx st acc (mk_serial op Dms.Distprop.Replicated []);
+    add_option ctx st acc (mk_serial op Dms.Distprop.Single_node [])
   | (Physop.Filter _ | Physop.Sort_op _), [ c ] ->
     List.iter
-      (fun (cd, cp) -> add_option ctx acc (mk_serial op cd [ cp ]))
-      (optimize_group ctx c)
+      (fun (cd, cp) -> add_option ctx st acc (mk_serial op cd [ cp ]))
+      (lookup c)
   | Physop.Compute defs, [ c ] ->
     (* a projection renames hash-distribution columns it passes through *)
     let rename_dist (d : Dms.Distprop.t) =
@@ -284,13 +303,13 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
       | d -> d
     in
     List.iter
-      (fun (cd, cp) -> add_option ctx acc (mk_serial op (rename_dist cd) [ cp ]))
-      (optimize_group ctx c)
+      (fun (cd, cp) -> add_option ctx st acc (mk_serial op (rename_dist cd) [ cp ]))
+      (lookup c)
   | Physop.Union_op, [ l; r ] ->
     (* a union executes locally when both branches share the distribution
        (paper sec. 3.1: search space extended around collocation of
        unions); enforcers on the branches provide the aligned options *)
-    let lopts = optimize_group ctx l and ropts = optimize_group ctx r in
+    let lopts = lookup l and ropts = lookup r in
     List.iter
       (fun (ld, lp) ->
          List.iter
@@ -313,7 +332,7 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
                 | _ -> None
               in
               match out with
-              | Some dist -> add_option ctx acc (mk_serial op dist [ lp; rp ])
+              | Some dist -> add_option ctx st acc (mk_serial op dist [ lp; rp ])
               | None -> ())
            ropts)
       lopts
@@ -323,13 +342,13 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
       Physop.oriented_equi_pairs pred ~left_cols:lprops.Memo.cols
         ~right_cols:rprops.Memo.cols
     in
-    let lopts = optimize_group ctx l and ropts = optimize_group ctx r in
+    let lopts = lookup l and ropts = lookup r in
     List.iter
       (fun (ld, lp) ->
          List.iter
            (fun (rd, rp) ->
               match Dms.Distprop.join_local ~kind ~equi ld rd with
-              | Some dist -> add_option ctx acc (mk_serial op dist [ lp; rp ])
+              | Some dist -> add_option ctx st acc (mk_serial op dist [ lp; rp ])
               | None -> ())
            ropts)
       lopts
@@ -338,17 +357,19 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
        optimizer's winners; the PDW layer composes order-agnostic
        operators only (hash variants always coexist in the MEMO). *)
     ()
-  | Physop.Hash_agg { keys; aggs }, [ c ] ->
-    let copts = optimize_group ctx c in
+  | Physop.Hash_agg { keys; aggs = _ }, [ c ] ->
+    let copts = lookup c in
     (* (a) local-complete aggregation *)
     List.iter
       (fun (cd, cp) ->
          match Dms.Distprop.groupby_local ~keys cd with
-         | Some dist -> add_option ctx acc (mk_serial op dist [ cp ])
+         | Some dist -> add_option ctx st acc (mk_serial op dist [ cp ])
          | None -> ())
       copts;
-    (* (b) local/global split: local partial agg, move, global agg *)
-    (match split_aggs ctx.m.Memo.reg keys aggs with
+    (* (b) local/global split: local partial agg, move, global agg. The
+       split (with its fresh registry columns) was precomputed by the
+       sequential pre-pass in the old recursive visit order. *)
+    (match Hashtbl.find ctx.splits (gid, idx) with
      | None -> ()
      | Some split ->
        let local_op = Physop.Hash_agg { keys; aggs = split.local_aggs } in
@@ -403,7 +424,7 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
                           | None -> final
                           | Some defs -> mk_serial (Physop.Compute defs) target [ final ]
                         in
-                        add_option ctx acc { final with Pplan.group = gid })
+                        add_option ctx st acc { final with Pplan.group = gid })
                      (Dms.Op.moves_to ~interesting cd target))
                 targets
             | Dms.Distprop.Replicated | Dms.Distprop.Single_node ->
@@ -416,7 +437,7 @@ and enumerate_expr ctx gid gprops acc ((op : Physop.t), (children : int array)) 
          (Physop.name op) (Array.length children))
 
 (** Step 07: add Move group expressions for each interesting property. *)
-and enforcer_step ctx gid gprops acc =
+let enforcer_step ctx st gid gprops acc =
   let o = ctx.o in
   let width, move_cols = Derive.moved_width ctx.m ctx.derived gid in
   let interesting = Derive.interesting ctx.derived gid in
@@ -453,8 +474,8 @@ and enforcer_step ctx gid gprops acc =
                      Dms.Cost.cost ~lambdas:o.lambdas kind ~nodes:o.nodes
                        ~rows:src.Pplan.rows ~width
                    in
-                   ctx.stats.enforcer_moves <- ctx.stats.enforcer_moves + 1;
-                   add_option ctx acc
+                   st.enforcer_moves <- st.enforcer_moves + 1;
+                   add_option ctx st acc
                      { Pplan.op = Pplan.Move { kind; cols };
                        children = [ src ];
                        dist = target;
@@ -466,3 +487,117 @@ and enforcer_step ctx gid gprops acc =
             end)
          targets)
     base_options
+
+(* -- leveled wavefront driver -- *)
+
+(* Sequential pre-pass: replicate the old recursive enumeration's exact
+   visit order to (a) compute each reachable group's dependency level
+   (back edges, i.e. children on the DFS stack, contribute nothing — they
+   end up on a strictly higher level), and (b) allocate every aggregation
+   split's fresh registry columns in that same order, so column ids are
+   independent of the pool schedule and workers never mutate the registry.
+   Returns the levels as arrays of canonical group ids, lowest first. *)
+let compute_levels ctx root =
+  let level : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let in_prog : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in  (* reverse completion order *)
+  let rec visit gid =
+    let gid = Memo.find ctx.m gid in
+    match Hashtbl.find_opt level gid with
+    | Some l -> l
+    | None ->
+      if Hashtbl.mem in_prog gid then -1  (* back edge *)
+      else begin
+        Hashtbl.replace in_prog gid ();
+        let lv = ref 0 in
+        let child c = lv := max !lv (1 + visit c) in
+        List.iteri
+          (fun idx ((op : Physop.t), (children : int array)) ->
+             match op, Array.to_list children with
+             | (Physop.Filter _ | Physop.Sort_op _ | Physop.Compute _), [ c ] ->
+               child c
+             | Physop.Union_op, [ l; r ]
+             | (Physop.Hash_join _ | Physop.Nl_join _), [ l; r ] ->
+               child l;
+               child r
+             | Physop.Hash_agg { keys; aggs }, [ c ] ->
+               child c;
+               Hashtbl.replace ctx.splits (gid, idx)
+                 (split_aggs ctx.m.Memo.reg keys aggs)
+             | _ -> ())
+          (Memo.physical_exprs ctx.m gid);
+        Hashtbl.remove in_prog gid;
+        Hashtbl.replace level gid !lv;
+        order := gid :: !order;
+        !lv
+      end
+  in
+  ignore (visit root);
+  let completion = List.rev !order in
+  let nlevels =
+    List.fold_left (fun a g -> max a (1 + Hashtbl.find level g)) 0 completion
+  in
+  let buckets = Array.make nlevels [] in
+  List.iter
+    (fun g ->
+       let l = Hashtbl.find level g in
+       buckets.(l) <- g :: buckets.(l))
+    completion;
+  Array.map (fun gs -> Array.of_list (List.rev gs)) buckets
+
+(* One group's steps 05-07: a pure function of the published child option
+   lists (plus read-only memo/derive/registry state), returning its kept
+   options and private counters. Safe to run on any pool domain. *)
+let enumerate_one ctx gid =
+  let st = fresh_stats () in
+  let lookup c =
+    match Hashtbl.find_opt ctx.table (Memo.find ctx.m c) with
+    | Some opts -> opts
+    | None -> []  (* back edge: published on a strictly higher level *)
+  in
+  let acc = ref [] in
+  let gprops = Memo.props ctx.m gid in
+  List.iteri
+    (fun idx e -> enumerate_expr ctx st lookup gid gprops acc idx e)
+    (Memo.physical_exprs ctx.m gid);
+  enforcer_step ctx st gid gprops acc;
+  (apply_hints ctx gid (List.map snd !acc), st)
+
+let optimize_group ctx gid =
+  let root = Memo.find ctx.m gid in
+  match Hashtbl.find_opt ctx.table root with
+  | Some opts -> opts
+  | None ->
+    let levels = compute_levels ctx root in
+    (* fully path-compress the union-find: worker-side [Memo.find] calls
+       become pure reads (one hop to the canonical group, no writes) *)
+    for g = 0 to Memo.ngroups ctx.m - 1 do
+      ignore (Memo.find ctx.m g)
+    done;
+    ctx.stats.par_levels <- ctx.stats.par_levels + Array.length levels;
+    ignore
+      (Par.parallel_levels ctx.pool
+         ~before_level:(fun _ gids ->
+           (* the poll raises in the caller between levels; an interrupted
+              ctx must be discarded, as before *)
+           Governor.poll ~where:"pdw.enumerate" ctx.token;
+           ctx.stats.par_groups <- ctx.stats.par_groups + Array.length gids)
+         ~after_level:(fun _ results ->
+           Array.iter
+             (fun (g, opts, st) ->
+                Hashtbl.replace ctx.table g opts;
+                ctx.stats.pdw_exprs_enumerated <-
+                  ctx.stats.pdw_exprs_enumerated + st.pdw_exprs_enumerated;
+                ctx.stats.enforcer_moves <-
+                  ctx.stats.enforcer_moves + st.enforcer_moves;
+                ctx.stats.groups_processed <- ctx.stats.groups_processed + 1;
+                ctx.stats.options_kept <-
+                  ctx.stats.options_kept + List.length opts)
+             results)
+         (fun g ->
+            let opts, st = enumerate_one ctx g in
+            (g, opts, st))
+         levels);
+    (match Hashtbl.find_opt ctx.table root with
+     | Some opts -> opts
+     | None -> [])

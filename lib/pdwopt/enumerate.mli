@@ -9,7 +9,14 @@
     - step 06.ii: cost-based pruning — keep the best option per output
       distribution (best overall plus best per interesting property);
     - step 07: enforcer step — add data movement expressions producing each
-      interesting distribution, costed with the DMS cost model. *)
+      interesting distribution, costed with the DMS cost model.
+
+    The pass runs as a leveled wavefront over a {!Par} domain pool: groups
+    are partitioned by memo dependency level, groups within a level run in
+    parallel, and a level's kept options are published only once the whole
+    level completes. A sequential pre-pass fixes registry allocation order
+    and dependency levels, so the result is bit-identical at any pool size
+    (see DESIGN.md §11 for the determinism argument). *)
 
 type opts = {
   nodes : int;
@@ -35,15 +42,25 @@ type stats = {
   mutable groups_processed : int;
   mutable enforcer_moves : int;
       (** Move expressions added by the enforcer step (Fig. 4, step 07) *)
+  mutable par_levels : int;  (** dependency levels in the wavefront *)
+  mutable par_groups : int;  (** groups dispatched through the pool *)
 }
 
 (** Enumeration state: the per-group kept-option table (the augmented MEMO
     of Fig. 3c) plus counters. Opaque outside {!Optimizer}. *)
 type ctx
 
-(** [token] is polled (raising {!Governor.Cancelled}) at each group visit;
-    an interrupted ctx must be discarded, not resumed. *)
-val create_ctx : ?token:Governor.token -> Memo.t -> Derive.t -> opts -> ctx
+(** [token] is polled (raising {!Governor.Cancelled}) in the caller before
+    each dependency level; an interrupted ctx must be discarded, not
+    resumed. [pool] runs the groups within each level (default: the shared
+    sequential pool — the same code path, one domain). [upper_bound] is a
+    fixed DMS-cost bound (typically the serial baseline plan's cost, with
+    margin): options strictly above it are dropped; since DMS cost only
+    accumulates upward, no winning plan is lost, and because the bound
+    never moves during a pass the kept tables are schedule-independent. *)
+val create_ctx :
+  ?token:Governor.token -> ?pool:Par.t -> ?upper_bound:float ->
+  Memo.t -> Derive.t -> opts -> ctx
 
 (** The per-group kept options (augmented MEMO), for inspection. *)
 val options_table : ctx -> (int, (Dms.Distprop.t * Pplan.t) list) Hashtbl.t
@@ -54,5 +71,8 @@ val stats_of : ctx -> stats
     an epsilon tie-break when [serial_tiebreak] is set. *)
 val total_cost : opts -> Pplan.t -> float
 
-(** Steps 05-07 for one group (memoized; recurses into children). *)
+(** Steps 05-07 for the memo subgraph rooted at the given group: computes
+    dependency levels, then runs the leveled wavefront bottom-up over the
+    ctx's pool. Returns the root group's kept options (memoized: a second
+    call with the same ctx returns the published table entry). *)
 val optimize_group : ctx -> int -> (Dms.Distprop.t * Pplan.t) list

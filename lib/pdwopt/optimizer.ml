@@ -91,6 +91,8 @@ let report_obs obs (ctx : Enumerate.ctx) (derived : Derive.t) (m : Memo.t)
     Obs.add obs "pdw.exprs_pruned"
       (s.Enumerate.pdw_exprs_enumerated - s.Enumerate.options_kept);
     Obs.add obs "pdw.enforcer_moves" s.Enumerate.enforcer_moves;
+    Obs.add obs "pdw.par_levels" s.Enumerate.par_levels;
+    Obs.add obs "pdw.par_groups" s.Enumerate.par_groups;
     let igroups, ilists = Derive.interesting_size derived in
     Obs.add obs "pdw.interesting.groups" igroups;
     Obs.add obs "pdw.interesting.col_lists" ilists;
@@ -114,15 +116,28 @@ let report_obs obs (ctx : Enumerate.ctx) (derived : Derive.t) (m : Memo.t)
 
 (** Run steps 01-09 over an (imported) MEMO and return the chosen plan. *)
 let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts)
-    ?(token = Governor.none) (m : Memo.t) : result =
+    ?(token = Governor.none) ?(pool = Par.sequential) ?upper_bound
+    (m : Memo.t) : result =
   (* 02-03: preprocessing *)
   preprocess_merge m;
   (* 04: top-down property derivation *)
   let derived = Derive.derive m in
-  (* 05-07: bottom-up enumeration *)
-  let ctx = Enumerate.create_ctx ~token m derived opts in
+  (* 05-07: bottom-up enumeration, leveled wavefront over [pool] *)
+  let ctx = Enumerate.create_ctx ~token ~pool ?upper_bound m derived opts in
   let root = Memo.root m in
   let options = Enumerate.optimize_group ctx root in
+  (* A finite bound can starve the root when the best distributed plan
+     genuinely costs more than the seed (e.g. movement-heavy unions whose
+     branches must be aligned): retry unbounded. The retry condition
+     depends only on the bounded result, so it fires identically at any
+     pool size. *)
+  let ctx, options =
+    if options = [] && upper_bound <> None then begin
+      let ctx = Enumerate.create_ctx ~token ~pool m derived opts in
+      (ctx, Enumerate.optimize_group ctx root)
+    end
+    else (ctx, options)
+  in
   if options = [] then raise (No_plan "no distributed plan found for the root group");
   (* 08: extract the best overall plan, adding the final Return *)
   let sort, limit = root_sort_limit m in

@@ -16,8 +16,12 @@ exception No_plan of string
     With [obs], reports the [pdw.*] counters: groups processed, PDW exprs
     enumerated vs. pruned, enforcer moves added, interesting-property map
     sizes, and the chosen plan's per-DMS-op modelled movement volumes.
-    [token] is polled per group; a trip raises {!Governor.Cancelled}
-    (the bottom-up enumeration has no partial answer worth keeping — the
-    anytime fallback lives one layer up, in [Opdw]). *)
+    [token] is polled per dependency level; a trip raises
+    {!Governor.Cancelled} (the bottom-up enumeration has no partial answer
+    worth keeping — the anytime fallback lives one layer up, in [Opdw]).
+    [pool] parallelizes the enumeration across memo dependency levels; the
+    chosen plan is bit-identical at any pool size. [upper_bound] seeds the
+    fixed DMS-cost pruning bound (see {!Enumerate.create_ctx}). *)
 val optimize :
-  ?obs:Obs.t -> ?opts:Enumerate.opts -> ?token:Governor.token -> Memo.t -> result
+  ?obs:Obs.t -> ?opts:Enumerate.opts -> ?token:Governor.token ->
+  ?pool:Par.t -> ?upper_bound:float -> Memo.t -> result

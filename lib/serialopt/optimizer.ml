@@ -65,8 +65,28 @@ let gexpr_key (m : Memo.t) (e : gexpr) : string =
     (String.concat ","
        (List.map (fun c -> string_of_int (Memo.find m c)) (Array.to_list e.children)))
 
-let explore (m : Memo.t) ~budget ~(token : Governor.token) ~max_memo_groups :
-    int * bool * Governor.reason option =
+(* Exploration runs in generations, each split into two phases so the rule
+   *matching* parallelizes on the domain pool while every memo mutation
+   stays sequential and deterministic:
+
+   - {b discovery} (parallel, read-only): each live group is scanned
+     against the generation-start snapshot of the memo — pattern matches,
+     canonical child ids, dedup keys. The union-find is fully
+     path-compressed before the fan-out, so worker-side [Memo.find] calls
+     are pure reads. Each group yields its candidate list; flattening in
+     group order gives the same candidate order at any pool size.
+   - {b apply} (sequential): candidates run in that order under the same
+     per-candidate dedup-key / task-budget / governor checks the old
+     interleaved sweep performed. Inserts made by earlier candidates are
+     visible to later ones, exactly as before; candidates those inserts
+     would newly enable are picked up by the next generation's snapshot.
+
+   The rule set is monotone and keyed, so the fixpoint closure is the
+   sequential one; only the insertion interleaving across generations can
+   differ from the old single-phase sweep — and it is identical at any
+   [jobs]. *)
+let explore (m : Memo.t) ~pool ~budget ~(token : Governor.token)
+    ~max_memo_groups : int * bool * Governor.reason option =
   let tasks = ref 0 in
   let exhausted = ref false in
   let interrupted = ref None in
@@ -86,83 +106,104 @@ let explore (m : Memo.t) ~budget ~(token : Governor.token) ~max_memo_groups :
   let key rule gid (e : gexpr) =
     Printf.sprintf "%s/%d/%s" rule gid (gexpr_key m e)
   in
-  let try_rule rule gid e (f : unit -> unit) =
-    let k = key rule gid e in
-    if not (Hashtbl.mem applied k) then begin
-      Hashtbl.replace applied k ();
-      if !tasks >= budget then exhausted := true
-      else if not (governor_cut ()) then begin
-        incr tasks;
-        f ()
-      end
-    end
+  (* Discovery for one group: candidates as (dedup key, apply closure).
+     Read-only against the memo; the closures only touch the memo when the
+     sequential apply phase runs them. *)
+  let discover g : (string * (unit -> unit)) list =
+    let out = ref [] in
+    List.iter
+      (fun (e : gexpr) ->
+         match e.op with
+         | Logical (Relop.Join { kind = (Relop.Inner | Relop.Cross) as kind; pred })
+           when Array.length e.children = 2 ->
+           let g1 = Memo.find m e.children.(0) and g2 = Memo.find m e.children.(1) in
+           let candidate rule (f : unit -> unit) =
+             let k = key rule g e in
+             if not (Hashtbl.mem applied k) then out := (k, f) :: !out
+           in
+           (* commutativity *)
+           candidate "commute" (fun () ->
+               ignore
+                 (Memo.insert ~target:g m
+                    (Logical (Relop.Join { kind; pred }))
+                    [| g2; g1 |]));
+           (* left associativity: (A x B) x C -> A x (B x C) *)
+           candidate "assoc" (fun () ->
+               List.iter
+                 (fun (lop, lchildren) ->
+                    match lop with
+                    | Relop.Join { kind = Relop.Inner | Relop.Cross; pred = q }
+                      when Array.length lchildren = 2 ->
+                      let ga = Memo.find m lchildren.(0)
+                      and gb = Memo.find m lchildren.(1) in
+                      if ga <> g2 && gb <> g2 then begin
+                        let cols_b = (Memo.props m gb).cols
+                        and cols_c = (Memo.props m g2).cols in
+                        let bc = Registry.Col_set.union cols_b cols_c in
+                        let all = nontrivial_conjuncts pred @ nontrivial_conjuncts q in
+                        let lower, upper =
+                          List.partition
+                            (fun c -> Registry.Col_set.subset (Expr.cols c) bc)
+                            all
+                        in
+                        (* avoid generating pure cross products *)
+                        if lower <> [] then begin
+                          let lower_join =
+                            Memo.insert m
+                              (Logical
+                                 (Relop.Join
+                                    { kind = classify_join lower;
+                                      pred = Expr.conjoin lower }))
+                              [| gb; g2 |]
+                          in
+                          ignore
+                            (Memo.insert ~target:g m
+                               (Logical
+                                  (Relop.Join
+                                     { kind = classify_join upper;
+                                       pred = Expr.conjoin upper }))
+                               [| ga; lower_join |])
+                        end
+                      end
+                    | _ -> ())
+                 (Memo.logical_exprs m g1))
+         | _ -> ())
+      (Memo.exprs m g);
+    List.rev !out
   in
   let changed = ref true in
   while !changed && not !exhausted && !interrupted = None do
     changed := false;
     let before = Hashtbl.length m.dedup in
-    let gid = ref 0 in
-    while !gid < Memo.ngroups m && not !exhausted && !interrupted = None do
-      let g = !gid in
-      if m.groups.(g).merged_into = None then begin
-        let exprs = Memo.exprs m g in
-        List.iter
-          (fun (e : gexpr) ->
-             match e.op with
-             | Logical (Relop.Join { kind = (Relop.Inner | Relop.Cross) as kind; pred })
-               when Array.length e.children = 2 ->
-               let g1 = Memo.find m e.children.(0) and g2 = Memo.find m e.children.(1) in
-               (* commutativity *)
-               try_rule "commute" g e (fun () ->
-                   ignore
-                     (Memo.insert ~target:g m
-                        (Logical (Relop.Join { kind; pred }))
-                        [| g2; g1 |]));
-               (* left associativity: (A x B) x C -> A x (B x C) *)
-               try_rule "assoc" g e (fun () ->
-                   List.iter
-                     (fun (lop, lchildren) ->
-                        match lop with
-                        | Relop.Join { kind = Relop.Inner | Relop.Cross; pred = q }
-                          when Array.length lchildren = 2 ->
-                          let ga = Memo.find m lchildren.(0)
-                          and gb = Memo.find m lchildren.(1) in
-                          if ga <> g2 && gb <> g2 then begin
-                            let cols_b = (Memo.props m gb).cols
-                            and cols_c = (Memo.props m g2).cols in
-                            let bc = Registry.Col_set.union cols_b cols_c in
-                            let all = nontrivial_conjuncts pred @ nontrivial_conjuncts q in
-                            let lower, upper =
-                              List.partition
-                                (fun c -> Registry.Col_set.subset (Expr.cols c) bc)
-                                all
-                            in
-                            (* avoid generating pure cross products *)
-                            if lower <> [] then begin
-                              let lower_join =
-                                Memo.insert m
-                                  (Logical
-                                     (Relop.Join
-                                        { kind = classify_join lower;
-                                          pred = Expr.conjoin lower }))
-                                  [| gb; g2 |]
-                              in
-                              ignore
-                                (Memo.insert ~target:g m
-                                   (Logical
-                                      (Relop.Join
-                                         { kind = classify_join upper;
-                                           pred = Expr.conjoin upper }))
-                                   [| ga; lower_join |])
-                            end
-                          end
-                        | _ -> ())
-                     (Memo.logical_exprs m g1))
-             | _ -> ())
-          exprs
-      end;
-      incr gid
+    (* path-compress so discovery-side finds never write *)
+    for g = 0 to Memo.ngroups m - 1 do
+      ignore (Memo.find m g)
     done;
+    let live =
+      Array.of_list
+        (List.filter
+           (fun g -> m.groups.(g).merged_into = None)
+           (List.init (Memo.ngroups m) Fun.id))
+    in
+    let per_group = Par.parallel_map pool discover live in
+    (* apply phase: sequential, in discovery order *)
+    (try
+       Array.iter
+         (List.iter (fun (k, f) ->
+              if not (Hashtbl.mem applied k) then begin
+                Hashtbl.replace applied k ();
+                if !tasks >= budget then begin
+                  exhausted := true;
+                  raise Exit
+                end
+                else if governor_cut () then raise Exit
+                else begin
+                  incr tasks;
+                  f ()
+                end
+              end))
+         per_group
+     with Exit -> ());
     if Hashtbl.length m.dedup > before then changed := true
   done;
   (!tasks, !exhausted, !interrupted)
@@ -332,7 +373,7 @@ let extract_best (m : Memo.t) : Plan.t option =
     whatever the MEMO holds, so a plan comes back even from a truncated
     search (at worst, the normalized tree's own implementation). *)
 let optimize ?(obs = Obs.null) ?(opts = default_options) ?(seeds = [])
-    ?(token = Governor.none) ?max_memo_groups
+    ?(token = Governor.none) ?max_memo_groups ?(pool = Par.sequential)
     (reg : Registry.t) (shell : Catalog.Shell_db.t) (tree : Relop.t) : result =
   let m = Memo.of_tree reg shell tree in
   List.iter
@@ -343,7 +384,7 @@ let optimize ?(obs = Obs.null) ?(opts = default_options) ?(seeds = [])
          Memo.merge_groups m (Memo.root m) g)
     seeds;
   let tasks_used, budget_exhausted, interrupted =
-    explore m ~budget:opts.task_budget ~token ~max_memo_groups
+    explore m ~pool ~budget:opts.task_budget ~token ~max_memo_groups
   in
   implement m ~opts;
   let best = try extract_best m with Cycle -> None in

@@ -172,6 +172,33 @@ let prop_plans_valid =
     ~count:500 arb_query
     (fun q -> validate_one (Lazy.force w) q)
 
+(* the compiled artifact must be bit-identical at any pool size: the
+   enumeration wavefront is deterministic by construction (DESIGN.md §11),
+   so fingerprint, root costs, and the rendered DSQL program all match *)
+let jobs_identical_one (w : Opdw.Workload.t) (q : gen_query) =
+  let compile jobs =
+    Par.with_pool ~jobs @@ fun pool ->
+    let r = Opdw.optimize ~check:false ~pool w.Opdw.Workload.shell q.sql in
+    let p = Opdw.plan r in
+    (r.Opdw.fingerprint, p.Pdwopt.Pplan.dms_cost, p.Pdwopt.Pplan.serial_cost,
+     Dsql.Generate.to_string r.Opdw.dsql)
+  in
+  let base = compile 1 in
+  List.iter
+    (fun jobs ->
+       if compile jobs <> base then
+         QCheck.Test.fail_report
+           (Printf.sprintf "compiled plan differs at jobs %d: %s" jobs q.sql))
+    [ 2; 4 ];
+  true
+
+let prop_jobs_identical =
+  let w = lazy (Opdw.Workload.tpch ~node_count:4 ~sf:0.001 ()) in
+  QCheck.Test.make
+    ~name:"random queries: identical plan at jobs 1, 2, 4" ~count:40 arb_query
+    (fun q -> jobs_identical_one (Lazy.force w) q)
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_random_queries;
-    QCheck_alcotest.to_alcotest prop_plans_valid ]
+    QCheck_alcotest.to_alcotest prop_plans_valid;
+    QCheck_alcotest.to_alcotest prop_jobs_identical ]

@@ -415,6 +415,49 @@ let test_sim_deadline_determinism_across_jobs () =
        Alcotest.(check (float 0.)) "simulated clock identical" t1 t4)
     s1 s4
 
+let test_compile_deadline_determinism_across_jobs () =
+  (* a wall deadline tripping mid-compilation, driven by a counting fake
+     clock: every governor poll happens in the caller domain (serial
+     exploration per applied rewrite, PDW enumeration per dependency
+     level), so the poll count — and therefore the trip point and the
+     Anytime/Fallback outcome — must reproduce exactly at any jobs *)
+  let wl = Lazy.force w in
+  let compile jobs budget =
+    Par.with_pool ~jobs @@ fun pool ->
+    let calls = ref 0 in
+    let clock () = incr calls; float_of_int !calls in
+    let tk = Governor.create () in
+    Governor.add_deadline tk ~clock ~deadline:budget;
+    let r =
+      Opdw.optimize ~check:false ~token:tk ~pool wl.Opdw.Workload.shell
+        join_sql
+    in
+    let p = Opdw.plan r in
+    ((match r.Opdw.degraded with
+      | Some d -> Opdw.degradation_to_string d
+      | None -> "full"),
+     !calls, p.Pdwopt.Pplan.dms_cost)
+  in
+  let outcomes =
+    List.map
+      (fun budget ->
+         let ((o1, c1, d1) as s1) = compile 1 budget in
+         let s4 = compile 4 budget in
+         Alcotest.(check (triple string int (float 0.)))
+           (Printf.sprintf "trip at clock budget %g identical at jobs 1 and 4"
+              budget)
+           s1 s4;
+         ignore (c1, d1);
+         o1)
+      [ 0.5; 2.5; 6.5; 12.5; 25.5; 1e9 ]
+  in
+  (* the sweep must actually cover both regimes: an early trip that falls
+     back to the baseline plan, and a budget large enough to finish *)
+  Alcotest.(check bool) "some budget falls back" true
+    (List.mem "fallback" outcomes);
+  Alcotest.(check bool) "a large budget compiles fully" true
+    (List.mem "full" outcomes)
+
 (* -- the random property -- *)
 
 (* Any (memo budget, simulated deadline, query) triple: the governed
@@ -489,4 +532,6 @@ let suite =
     t "exhaustion trips the breaker, probe recovers" test_governed_breaker_end_to_end;
     t "reset zeroes account and governor counters together" test_governed_reset_uniform;
     t "sim deadlines reproduce at jobs 1 and 4" test_sim_deadline_determinism_across_jobs;
+    t "compile deadlines reproduce at jobs 1 and 4"
+      test_compile_deadline_determinism_across_jobs;
     QCheck_alcotest.to_alcotest prop_governed_never_wrong ]

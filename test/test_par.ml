@@ -98,6 +98,95 @@ let test_tasks_counter () =
   ignore (Par.parallel_map pool Fun.id (Array.init 25 Fun.id));
   Alcotest.(check int) "tasks counted" (before + 25) (Par.tasks_run pool)
 
+exception Tagged of int
+
+let test_lowest_index_exception () =
+  (* several bodies fail concurrently: the exception that surfaces must be
+     the one sequential execution would have hit — the lowest failing
+     index — whatever the schedule. Repeat to shake out racy schedules. *)
+  let pool = Par.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  for _ = 1 to 100 do
+    match
+      Par.parallel_map pool
+        (fun i -> if i mod 7 = 3 then raise (Tagged i) else i)
+        (Array.init 200 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected a failure"
+    | exception Tagged i ->
+      Alcotest.(check int) "lowest failing index surfaces" 3 i
+  done;
+  (* sequential pools take the same path *)
+  (match
+     Par.parallel_map Par.sequential
+       (fun i -> if i >= 5 then raise (Tagged i) else i)
+       (Array.init 10 Fun.id)
+   with
+   | _ -> Alcotest.fail "expected a failure"
+   | exception Tagged i -> Alcotest.(check int) "sequential agrees" 5 i)
+
+let test_parallel_levels () =
+  let pool = Par.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  let levels = [| [| 0; 1; 2 |]; [||]; [| 3 |]; [| 4; 5; 6; 7 |] |] in
+  let trace = ref [] in
+  let out =
+    Par.parallel_levels pool
+      ~before_level:(fun li items ->
+          trace := Printf.sprintf "before %d (%d)" li (Array.length items) :: !trace)
+      ~after_level:(fun li results ->
+          trace := Printf.sprintf "after %d (%d)" li (Array.length results) :: !trace)
+      (fun i -> i * 10)
+      levels
+  in
+  Alcotest.(check (array (array int))) "per-level results in order"
+    [| [| 0; 10; 20 |]; [||]; [| 30 |]; [| 40; 50; 60; 70 |] |] out;
+  Alcotest.(check (list string)) "hooks bracket each level in order"
+    [ "before 0 (3)"; "after 0 (3)"; "before 1 (0)"; "after 1 (0)";
+      "before 2 (1)"; "after 2 (1)"; "before 3 (4)"; "after 3 (4)" ]
+    (List.rev !trace)
+
+let test_parallel_levels_barrier () =
+  (* a level's bodies may read state published by after_level of every
+     earlier level: the inter-level barrier makes that safe *)
+  let pool = Par.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+  let published = Hashtbl.create 16 in
+  let levels = Array.init 6 (fun l -> Array.init (l + 1) (fun i -> (l, i))) in
+  let out =
+    Par.parallel_levels pool
+      ~after_level:(fun _ results ->
+          Array.iter (fun (k, v) -> Hashtbl.replace published k v) results)
+      (fun (l, i) ->
+         (* sum over all previous levels' published values *)
+         let prev = ref 0 in
+         for pl = 0 to l - 1 do
+           for pi = 0 to pl do
+             prev := !prev + Hashtbl.find published (pl, pi)
+           done
+         done;
+         ((l, i), (i + 1) + !prev))
+      levels
+  in
+  (* compare against a straight sequential evaluation *)
+  let expect = Hashtbl.create 16 in
+  Array.iteri
+    (fun l items ->
+       Array.iteri
+         (fun i _ ->
+            let prev = ref 0 in
+            for pl = 0 to l - 1 do
+              for pi = 0 to pl do prev := !prev + Hashtbl.find expect (pl, pi) done
+            done;
+            Hashtbl.replace expect (l, i) ((i + 1) + !prev))
+         items)
+    levels;
+  Array.iter
+    (Array.iter (fun (k, v) ->
+         Alcotest.(check int) "wavefront value matches sequential"
+           (Hashtbl.find expect k) v))
+    out
+
 let suite =
   [ Alcotest.test_case "map matches sequential (jobs=1)" `Quick (check_map_matches 1);
     Alcotest.test_case "map matches sequential (jobs=2)" `Quick (check_map_matches 2);
@@ -110,4 +199,10 @@ let suite =
     Alcotest.test_case "with_pool brackets create/shutdown" `Quick test_with_pool_bracket;
     Alcotest.test_case "with_pool shuts the pool when the body raises" `Quick
       test_with_pool_shuts_on_raise;
-    Alcotest.test_case "tasks_run counter" `Quick test_tasks_counter ]
+    Alcotest.test_case "tasks_run counter" `Quick test_tasks_counter;
+    Alcotest.test_case "lowest failing index's exception surfaces" `Quick
+      test_lowest_index_exception;
+    Alcotest.test_case "parallel_levels: order, hooks, empty levels" `Quick
+      test_parallel_levels;
+    Alcotest.test_case "parallel_levels: inter-level barrier publishes" `Quick
+      test_parallel_levels_barrier ]
