@@ -1248,6 +1248,164 @@ let e18 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E20: abstract-interpretation analyzer -- contradiction pruning and  *)
+(* static cardinality-bound tightness                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  section "E20"
+    "Abstract interpretation: contradiction pruning and bound tightness";
+  let now = Unix.gettimeofday in
+  let nodes = 4 and sf = 0.01 in
+  let w = workload ~nodes ~sf in
+  let opts ~fold =
+    let o = Opdw.default_options ~node_count:nodes in
+    { o with Opdw.pdw = { o.Opdw.pdw with Pdwopt.Enumerate.fold_empty = fold } }
+  in
+  (* compile unchecked: with folding off a contradictory plan would (by
+     design) be rejected by the R12 check gate *)
+  let compile ~fold sql =
+    let reps = 3 in
+    let best = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      let obs = Obs.create () in
+      let t0 = now () in
+      let r =
+        Opdw.optimize ~obs ~options:(opts ~fold) ~check:false
+          w.Opdw.Workload.shell sql
+      in
+      let dt = (now () -. t0) *. 1000. in
+      if dt < !best then best := dt;
+      out :=
+        Some (r, Obs.counter obs "pdw.exprs_enumerated",
+              Obs.counter obs "analysis.empty_groups")
+    done;
+    let r, exprs, empty = Option.get !out in
+    (!best, r, exprs, empty)
+  in
+  (* part 1: live workload -- folding must be plan-identity-preserving *)
+  Printf.printf
+    "part 1: full %d-query workload, fold_empty on vs off (nodes=%d sf=%g)\n\n"
+    (List.length Tpch.Queries.all) nodes sf;
+  let identical = ref 0 and exprs_on = ref 0. and exprs_off = ref 0. in
+  let ms_on = ref 0. and ms_off = ref 0. in
+  List.iter
+    (fun (q : Tpch.Queries.t) ->
+       let m1, r1, x1, _ = compile ~fold:true q.Tpch.Queries.sql in
+       let m0, r0, x0, _ = compile ~fold:false q.Tpch.Queries.sql in
+       let reg = r1.Opdw.memo.Memo.reg in
+       if Pdwopt.Pplan.to_string reg (Opdw.plan r1)
+          = Pdwopt.Pplan.to_string reg (Opdw.plan r0)
+       then incr identical;
+       exprs_on := !exprs_on +. x1;
+       exprs_off := !exprs_off +. x0;
+       ms_on := !ms_on +. m1;
+       ms_off := !ms_off +. m0)
+    Tpch.Queries.all;
+  recordi "E20" "workload.identical_plans" !identical;
+  recordi "E20" "workload.queries" (List.length Tpch.Queries.all);
+  record "E20" "workload.exprs_fold_on" !exprs_on;
+  record "E20" "workload.exprs_fold_off" !exprs_off;
+  record "E20" "workload.compile_ms_fold_on" !ms_on;
+  record "E20" "workload.compile_ms_fold_off" !ms_off;
+  Printf.printf
+    "identical plans: %d/%d; exprs enumerated %.0f (on) vs %.0f (off);\n\
+     compile %.1f ms (on) vs %.1f ms (off)\n\n"
+    !identical (List.length Tpch.Queries.all) !exprs_on !exprs_off !ms_on !ms_off;
+  (* part 2: contradiction-heavy queries the normalizer cannot fold (the
+     predicates are satisfiable syntactically; only catalog min/max
+     refutes them), so pruning is entirely the analyzer's work *)
+  let contras =
+    [ ("scan", "SELECT o_orderkey FROM orders WHERE o_totalprice < 0");
+      ("join",
+       "SELECT o_orderkey FROM orders, customer \
+        WHERE o_custkey = c_custkey AND o_totalprice < 0");
+      ("agg",
+       "SELECT o_orderstatus, COUNT(*) AS c FROM orders \
+        WHERE o_totalprice < 0 GROUP BY o_orderstatus");
+      ("range",
+       "SELECT l_orderkey FROM lineitem WHERE l_quantity > 1000000") ]
+  in
+  Printf.printf
+    "part 2: stats-refuted queries (catalog proves the filter empty)\n\n";
+  Printf.printf "%-7s %-11s %-12s %-10s %-10s %-10s %-8s\n" "query"
+    "exprs (on)" "exprs (off)" "prune" "ms (on)" "ms (off)" "plan sz";
+  List.iter
+    (fun (name, sql) ->
+       let m1, r1, x1, empty = compile ~fold:true sql in
+       let m0, r0, x0, _ = compile ~fold:false sql in
+       let reduction = x0 /. Float.max 1. x1 in
+       record "E20" (name ^ ".exprs_fold_on") x1;
+       record "E20" (name ^ ".exprs_fold_off") x0;
+       record "E20" (name ^ ".prune_x") reduction;
+       record "E20" (name ^ ".compile_ms_fold_on") m1;
+       record "E20" (name ^ ".compile_ms_fold_off") m0;
+       record "E20" (name ^ ".empty_groups") empty;
+       recordi "E20" (name ^ ".plan_size_fold_on")
+         (Pdwopt.Pplan.size (Opdw.plan r1));
+       recordi "E20" (name ^ ".plan_size_fold_off")
+         (Pdwopt.Pplan.size (Opdw.plan r0));
+       rowf "%-7s %-11.0f %-12.0f %-10.1f %-10.2f %-10.2f %d vs %d\n" name x1
+         x0 reduction m1 m0
+         (Pdwopt.Pplan.size (Opdw.plan r1))
+         (Pdwopt.Pplan.size (Opdw.plan r0)))
+    contras;
+  (* part 3: soundness and tightness of the static bounds against actual
+     execution -- every operator's observed cardinality must land inside
+     [lo, hi] (the engine's assert-bounds oracle counts violations), and
+     the root's hi shows how loose the interval arithmetic gets *)
+  Printf.printf
+    "\npart 3: static [lo, hi] vs execution (assert-bounds oracle)\n\n";
+  Printf.printf "%-7s %-12s %-12s %-12s %-10s\n" "query" "root hi" "observed"
+    "tight (x)" "violations";
+  let app = w.Opdw.Workload.app in
+  let violations_total = ref 0 and tightness = ref [] in
+  List.iter
+    (fun (q : Tpch.Queries.t) ->
+       let r = optimize w q.Tpch.Queries.sql in
+       let plan = Opdw.plan r in
+       let actx =
+         Analysis.context ~shell:w.Opdw.Workload.shell
+           ~reg:r.Opdw.memo.Memo.reg ~nodes
+       in
+       Engine.Appliance.set_bounds app (Some (Analysis.group_bounds actx plan));
+       let rows, _, _ = execute w plan in
+       let v = app.Engine.Appliance.bound_violations in
+       violations_total := !violations_total + v;
+       (* hi at the root, clamped by the client TOP if one exists (Return
+          nodes are not limit-clamped by the abstract domain) *)
+       let hi =
+         let _, info =
+           List.find
+             (fun ((n : Pdwopt.Pplan.t), _) ->
+                match n.Pdwopt.Pplan.op with
+                | Pdwopt.Pplan.Return _ -> true
+                | _ -> false)
+             (Analysis.annotate actx plan)
+         in
+         match plan.Pdwopt.Pplan.op with
+         | Pdwopt.Pplan.Return { limit = Some l; _ } ->
+           Float.min info.Analysis.card_hi (float_of_int l)
+         | _ -> info.Analysis.card_hi
+       in
+       let tight = hi /. Float.max 1. (float_of_int rows) in
+       tightness := tight :: !tightness;
+       record "E20" (q.Tpch.Queries.id ^ ".root_hi") hi;
+       recordi "E20" (q.Tpch.Queries.id ^ ".observed") rows;
+       record "E20" (q.Tpch.Queries.id ^ ".tightness_x") tight;
+       recordi "E20" (q.Tpch.Queries.id ^ ".bound_violations") v;
+       rowf "%-7s %-12.4g %-12d %-12.3g %-10d\n" q.Tpch.Queries.id hi rows
+         tight v)
+    Tpch.Queries.all;
+  Engine.Appliance.set_bounds app None;
+  recordi "E20" "bound_violations_total" !violations_total;
+  record "E20" "tightness_geomean_x" (geomean !tightness);
+  Printf.printf
+    "\nbound violations across the workload: %d (soundness); geomean root\n\
+     tightness %.2fx (static hi over observed rows, TOP-clamped)\n"
+    !violations_total (geomean !tightness)
+
 let all () =
   e1 ();
   e2 ();
@@ -1267,7 +1425,8 @@ let all () =
   e16 ();
   e17 ();
   e18 ();
-  e19 ()
+  e19 ();
+  e20 ()
 
 let by_id = function
   | "E1" -> e1 ()
@@ -1289,4 +1448,5 @@ let by_id = function
   | "E17" -> e17 ()
   | "E18" -> e18 ()
   | "E19" -> e19 ()
-  | id -> Printf.printf "unknown experiment %s (E1..E19)\n" id
+  | "E20" -> e20 ()
+  | id -> Printf.printf "unknown experiment %s (E1..E20)\n" id

@@ -7,6 +7,9 @@
      overload - storm the appliance with concurrent statements through the
                 resource governor and verify answers against oracle rows
      memo     - dump the serial MEMO (optionally its XML encoding)
+     check    - run the static plan-validity analyzer over optimized plans
+     analyze  - run the abstract interpreter (types, ranges, cardinality
+                bounds, contradictions) over optimized plans
      queries  - list the bundled workload queries
 
    All subcommands operate against the TPC-H shell database; the query may
@@ -35,6 +38,23 @@ let resolve_sql query_id sql_arg file =
   | None, None, None ->
     prerr_endline "give a query: positional SQL, --query ID, or --file F";
     exit 1
+
+(* minimal JSON string escaping for --json output modes *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 32 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 (* -- observability -- *)
 
@@ -122,6 +142,14 @@ let check_t =
              (false,
               info [ "no-check" ]
                 ~doc:"Skip the static plan-validity analyzer.") ])
+
+let assert_bounds_t =
+  Arg.(value & flag
+       & info [ "assert-bounds" ]
+         ~doc:"Derive static per-operator cardinality bounds [lo, hi] with the \
+               abstract interpreter before executing and check every executed \
+               operator's observed row count against them; exits nonzero on \
+               any violation (a soundness bug in the analyzer or the engine).")
 
 let chaos_t =
   Arg.(value & flag
@@ -296,9 +324,10 @@ let compare_engines_run ~nodes ~sf ~options ~check ~pool text =
     (if sim_ok then "identical" else "DIFFERS") sim_r sim_c;
   if not (rows_ok && sim_ok) then exit 1
 
-let run nodes sf query sql file seed budget limit jobs no_cache check repeat chaos
-    fault_seed fault_rate fault_schedule deadline_ms sim_deadline_ms memo_budget
-    max_concurrent queue_limit breaker engine compare_engines profile debug =
+let run nodes sf query sql file seed budget limit jobs no_cache check assert_bounds
+    repeat chaos fault_seed fault_rate fault_schedule deadline_ms sim_deadline_ms
+    memo_budget max_concurrent queue_limit breaker engine compare_engines profile
+    debug =
   let w = setup ~engine ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
@@ -312,6 +341,17 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat cha
   let app = w.Opdw.Workload.app in
   Engine.Appliance.set_pool app pool;
   Engine.Appliance.set_check app check;
+  if assert_bounds then begin
+    (* pre-compile (through the same cache, so the governed run below hits)
+       to derive the static bounds table before any execution *)
+    let r0 = Opdw.optimize ~options ?cache ~pool w.Opdw.Workload.shell text in
+    let actx =
+      Analysis.context ~shell:w.Opdw.Workload.shell ~reg:r0.Opdw.memo.Memo.reg
+        ~nodes:options.Opdw.pdw.Pdwopt.Enumerate.nodes
+    in
+    Engine.Appliance.set_bounds app
+      (Some (Analysis.group_bounds actx (Opdw.plan r0)))
+  end;
   let chaos = chaos || fault_schedule <> None in
   let r, res, app =
     if chaos then begin
@@ -393,6 +433,11 @@ let run nodes sf query sql file seed budget limit jobs no_cache check repeat cha
   if repeat > 1 then
     Printf.printf "(%d rounds; execution used %d domains; plan cache %s)\n" repeat
       (Par.jobs pool) (if no_cache then "off" else "on");
+  if assert_bounds then begin
+    let v = app.Engine.Appliance.bound_violations in
+    Printf.printf "assert-bounds: %d operator(s) outside static bounds\n" v;
+    if v > 0 then exit 1
+  end;
   if compare_engines then
     compare_engines_run ~nodes ~sf ~options:(options_of ~nodes ~seed ~budget)
       ~check ~pool text;
@@ -410,10 +455,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
-          $ jobs_t $ no_cache_t $ check_t $ repeat $ chaos_t $ fault_seed_t $ fault_rate_t
-          $ fault_schedule_t $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t
-          $ max_concurrent_t $ queue_limit_t $ breaker_t $ engine_t
-          $ compare_engines_t $ profile_t $ debug_t)
+          $ jobs_t $ no_cache_t $ check_t $ assert_bounds_t $ repeat $ chaos_t
+          $ fault_seed_t $ fault_rate_t $ fault_schedule_t $ deadline_ms_t
+          $ sim_deadline_ms_t $ memo_budget_t $ max_concurrent_t $ queue_limit_t
+          $ breaker_t $ engine_t $ compare_engines_t $ profile_t $ debug_t)
 
 (* -- overload -- *)
 
@@ -559,56 +604,149 @@ let memo_cmd =
 
 (* -- check -- *)
 
-let check_queries nodes sf all query sql file seed budget =
+let workload_targets ~all ~query ~sql ~file =
+  if all then
+    List.map (fun q -> (q.Tpch.Queries.id, q.Tpch.Queries.sql)) Tpch.Queries.all
+  else
+    [ ((match query with Some id -> id | None -> "query"),
+       resolve_sql query sql file) ]
+
+let check_queries nodes sf all query sql file seed budget json =
   let w = setup ~nodes ~sf () in
   let options = options_of ~nodes ~seed ~budget in
-  let targets =
-    if all then
-      List.map (fun q -> (q.Tpch.Queries.id, q.Tpch.Queries.sql)) Tpch.Queries.all
-    else
-      [ ((match query with Some id -> id | None -> "query"),
-         resolve_sql query sql file) ]
-  in
+  let targets = workload_targets ~all ~query ~sql ~file in
   let failed = ref 0 in
-  List.iter
-    (fun (id, text) ->
-       (* optimize without the built-in gate, then validate explicitly so a
-          violation is reported instead of raised *)
-       let r = Opdw.optimize ~options ~check:false w.Opdw.Workload.shell text in
-       let plan = Opdw.plan r in
-       let cost =
-         { Check.nodes = options.Opdw.pdw.Pdwopt.Enumerate.nodes;
-           lambdas = options.Opdw.pdw.Pdwopt.Enumerate.lambdas;
-           reg = r.Opdw.memo.Memo.reg }
-       in
-       match
-         Check.validate ~cost ~dsql:r.Opdw.dsql ~shell:w.Opdw.Workload.shell plan
-       with
-       | [] ->
-         Printf.printf "%-6s ok  (%d plan nodes, %d movements, %d DSQL steps)\n"
-           id (Pdwopt.Pplan.size plan) (Pdwopt.Pplan.move_count plan)
-           (Dsql.Generate.step_count r.Opdw.dsql)
-       | vs ->
-         incr failed;
-         Printf.printf "%-6s INVALID (%d violations)\n%s\n" id (List.length vs)
-           (Check.to_string vs))
-    targets;
-  let n = List.length targets in
-  Printf.printf "%d/%d plans valid (%d rules)\n" (n - !failed) n
-    (List.length Check.rules);
+  let reports =
+    List.map
+      (fun (id, text) ->
+         (* optimize without the built-in gate, then validate explicitly so a
+            violation is reported instead of raised *)
+         let r = Opdw.optimize ~options ~check:false w.Opdw.Workload.shell text in
+         let plan = Opdw.plan r in
+         let cost =
+           { Check.nodes = options.Opdw.pdw.Pdwopt.Enumerate.nodes;
+             lambdas = options.Opdw.pdw.Pdwopt.Enumerate.lambdas;
+             reg = r.Opdw.memo.Memo.reg }
+         in
+         let vs =
+           Check.validate ~cost ~dsql:r.Opdw.dsql ~shell:w.Opdw.Workload.shell plan
+         in
+         if vs <> [] then incr failed;
+         (id, r, plan, vs))
+      targets
+  in
+  if json then begin
+    (* machine-readable report: one object per query, each violation with
+       its rule id, message and offending subtree rendering *)
+    let vio (v : Check.violation) =
+      Printf.sprintf "{\"rule\": \"%s\", \"message\": \"%s\", \"subtree\": \"%s\"}"
+        (json_escape v.Check.rule) (json_escape v.Check.message)
+        (json_escape v.Check.subtree)
+    in
+    print_endline
+      ("["
+       ^ String.concat ","
+           (List.map
+              (fun (id, _, _, vs) ->
+                 Printf.sprintf "\n  {\"query\": \"%s\", \"valid\": %b, \"violations\": [%s]}"
+                   (json_escape id) (vs = [])
+                   (String.concat ", " (List.map vio vs)))
+              reports)
+       ^ "\n]")
+  end
+  else begin
+    List.iter
+      (fun (id, r, plan, vs) ->
+         match vs with
+         | [] ->
+           Printf.printf "%-6s ok  (%d plan nodes, %d movements, %d DSQL steps)\n"
+             id (Pdwopt.Pplan.size plan) (Pdwopt.Pplan.move_count plan)
+             (Dsql.Generate.step_count r.Opdw.dsql)
+         | vs ->
+           Printf.printf "%-6s INVALID (%d violations)\n%s\n" id (List.length vs)
+             (Check.to_string vs))
+      reports;
+    let n = List.length targets in
+    Printf.printf "%d/%d plans valid (%d rules)\n" (n - !failed) n
+      (List.length Check.rules)
+  end;
   if !failed > 0 then exit 1
 
+let all_t =
+  Arg.(value & flag
+       & info [ "all" ] ~doc:"Process every bundled workload query.")
+
+let json_t =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+
 let check_cmd =
-  let all =
-    Arg.(value & flag
-         & info [ "all" ] ~doc:"Validate every bundled workload query.")
-  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the static plan-validity analyzer (distribution, movement, \
-             cost, and DSQL invariants) over optimized plans.")
-    Term.(const check_queries $ nodes_t $ sf_t $ all $ query_t $ sql_t $ file_t
-          $ seed_t $ budget_t)
+             cost, type, bounds, and DSQL invariants) over optimized plans. \
+             Exits 0 when every plan validates clean, 1 when any rule is \
+             violated.")
+    Term.(const check_queries $ nodes_t $ sf_t $ all_t $ query_t $ sql_t $ file_t
+          $ seed_t $ budget_t $ json_t)
+
+(* -- analyze -- *)
+
+let analyze nodes sf all query sql file seed budget json =
+  let w = setup ~nodes ~sf () in
+  let options = options_of ~nodes ~seed ~budget in
+  let targets = workload_targets ~all ~query ~sql ~file in
+  let flagged = ref 0 in
+  let reports =
+    List.map
+      (fun (id, text) ->
+         let r = Opdw.optimize ~options w.Opdw.Workload.shell text in
+         let plan = Opdw.plan r in
+         let actx =
+           Analysis.context ~shell:w.Opdw.Workload.shell
+             ~reg:r.Opdw.memo.Memo.reg
+             ~nodes:options.Opdw.pdw.Pdwopt.Enumerate.nodes
+         in
+         let bad =
+           List.exists
+             (fun ((_ : Pdwopt.Pplan.t), (i : Analysis.node_info)) ->
+                i.Analysis.contradiction <> None || i.Analysis.type_errors <> [])
+             (Analysis.annotate actx plan)
+         in
+         if bad then incr flagged;
+         (id, bad, actx, plan))
+      targets
+  in
+  if json then
+    print_endline
+      ("["
+       ^ String.concat ","
+           (List.map
+              (fun (id, bad, actx, plan) ->
+                 Printf.sprintf "\n  {\"query\": \"%s\", \"clean\": %b, \"nodes\": %s}"
+                   (json_escape id) (not bad) (Analysis.render_json actx plan))
+              reports)
+       ^ "\n]")
+  else begin
+    List.iter
+      (fun (id, bad, actx, plan) ->
+         Printf.printf "== %s%s ==\n%s\n" id (if bad then " FLAGGED" else "")
+           (Analysis.render actx plan))
+      reports;
+    Printf.printf "%d/%d plans clean\n" (List.length targets - !flagged)
+      (List.length targets)
+  end;
+  if !flagged > 0 then exit 1
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the abstract-interpretation analyzer over optimized plans: \
+             per-node static cardinality bounds [lo, hi], per-column value \
+             ranges, type errors, and contradictions. Exits 0 when every \
+             plan is clean, 1 when any node is flagged.")
+    Term.(const analyze $ nodes_t $ sf_t $ all_t $ query_t $ sql_t $ file_t
+          $ seed_t $ budget_t $ json_t)
 
 (* -- queries -- *)
 
@@ -627,7 +765,8 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group (Cmd.info "opdw_cli" ~doc)
-           [ explain_cmd; run_cmd; overload_cmd; memo_cmd; check_cmd; queries_cmd ])
+           [ explain_cmd; run_cmd; overload_cmd; memo_cmd; check_cmd; analyze_cmd;
+             queries_cmd ])
     with
     | Governor.Gate.Rejected rj ->
       Printf.eprintf

@@ -31,6 +31,9 @@ let r6 = "R6.cost-reconstruct"
 let r7 = "R7.dsql-steps"
 let r8 = "R8.dsql-temp-defined"
 let r9 = "R9.dsql-schema"
+let r10 = "R10.types"
+let r11 = "R11.bounds"
+let r12 = "R12.contradiction"
 
 let rules =
   [ { id = r0; title = "operator arities; Return only at the root";
@@ -52,7 +55,13 @@ let rules =
     { id = r8; title = "temp tables are filled before they are read";
       paper = "§2.4 (step sequencing)" };
     { id = r9; title = "DSQL DMS steps mirror the plan's movements and schemas";
-      paper = "§2.4/Fig. 7 (plan-to-DSQL cut)" } ]
+      paper = "§2.4/Fig. 7 (plan-to-DSQL cut)" };
+    { id = r10; title = "every expression type-checks (join keys, aggregates, temp schemas)";
+      paper = "DESIGN.md §12 (typed-expression checker)" };
+    { id = r11; title = "optimizer row estimates inside the derived cardinality bounds";
+      paper = "DESIGN.md §12 (interval abstract domain)" };
+    { id = r12; title = "no provably-contradictory predicate left unfolded";
+      paper = "DESIGN.md §12 (contradiction detection)" } ]
 
 type cost_model = { nodes : int; lambdas : Dms.Cost.lambdas; reg : Registry.t }
 
@@ -538,7 +547,59 @@ let check_dsql acc (p : Pdwopt.Pplan.t) (d : Dsql.Generate.plan) =
            v r9 (Some s) "temp-table schema covers columns [%s], movement \
                           carries [%s]"
              (ids aids) (ids ecols))
-      expected actual
+      expected actual;
+  (* R10 (DSQL leg): every temp-table schema column resolves in the
+     registry, and duplicate emitted names agree on their type *)
+  List.iter
+    (function
+      | Dsql.Generate.Dms_step { cols; _ } as s ->
+        List.iter
+          (fun (te : Analysis.type_error) ->
+             v r10 (Some s) "%s: %s" te.Analysis.expr te.Analysis.reason)
+          (Analysis.check_temp_cols d.Dsql.Generate.reg cols)
+      | Dsql.Generate.Return_step _ -> ())
+    steps
+
+(* -- R10-R12: the abstract-interpretation pass (DESIGN.md §12) -- *)
+
+(* The estimator floors every estimate at 1 row (empty inputs, folded
+   branches), so a derived upper bound of 0 still admits estimates of a few
+   rows: tolerate max(1, hi) plus a small additive slack for unions over
+   folded branches. The bounds themselves are sound; only the comparison
+   against the *estimator* is slack. *)
+let est_within ~lo ~hi est =
+  est <= Float.max 1. hi +. 8. +. (1e-6 *. hi) && est >= (lo *. (1. -. 1e-6)) -. 1.
+
+let check_analysis acc ~shell (cm : cost_model) (p : Pdwopt.Pplan.t) =
+  let actx = Analysis.context ~shell ~reg:cm.reg ~nodes:cm.nodes in
+  let v rule node fmt =
+    Printf.ksprintf
+      (fun message -> acc := { rule; message; subtree = subtree_string node } :: !acc)
+      fmt
+  in
+  List.iter
+    (fun ((node : Pdwopt.Pplan.t), (i : Analysis.node_info)) ->
+       List.iter
+         (fun (te : Analysis.type_error) ->
+            v r10 node "%s: %s" te.Analysis.expr te.Analysis.reason)
+         i.Analysis.type_errors;
+       (match i.Analysis.contradiction with
+        | Some pred -> v r12 node "contradictory predicate left unfolded: %s" pred
+        | None -> ());
+       (match node.Pdwopt.Pplan.op with
+        | Pdwopt.Pplan.Return _ ->
+          (* the optimizer's Return reports the child's rows, not the
+             TOP-clamped count; the runtime oracle covers the gather *)
+          ()
+        | _ ->
+          if
+            not
+              (est_within ~lo:i.Analysis.card_lo ~hi:i.Analysis.card_hi
+                 node.Pdwopt.Pplan.rows)
+          then
+            v r11 node "row estimate %.6g outside derived bounds [%.6g, %.6g]"
+              node.Pdwopt.Pplan.rows i.Analysis.card_lo i.Analysis.card_hi))
+    (Analysis.annotate actx p)
 
 (* -- entry points -- *)
 
@@ -550,10 +611,11 @@ let validate ?(obs = Obs.null) ?cost ?dsql ~shell (p : Pdwopt.Pplan.t) :
   violation list =
   let ctx = check_plan ~costs:true ~shell ~cost p in
   let acc = ref ctx.acc in
+  (match cost with None -> () | Some cm -> check_analysis acc ~shell cm p);
   (match dsql with None -> () | Some d -> check_dsql acc p d);
   let vs = List.rev !acc in
   let rules_run =
-    6 + (if cost = None then 0 else 1) + if dsql = None then 0 else 3
+    6 + (if cost = None then 0 else 4) + if dsql = None then 0 else 3
   in
   report obs ~rules_run vs;
   vs

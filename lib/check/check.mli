@@ -32,7 +32,18 @@
     - [R8.dsql-temp-defined]: every temp table referenced by a step's SQL
       is filled by an earlier DMS step.
     - [R9.dsql-schema]: the DSQL DMS steps correspond 1:1 (same order,
-      kinds, and column schemas) with the plan's Move nodes. *)
+      kinds, and column schemas) with the plan's Move nodes.
+    - [R10.types] (needs a {!cost_model} for the registry): every
+      expression in the plan type-checks — join keys compare compatible
+      types, SUM/AVG arguments are numeric, computed and aggregate outputs
+      match their declared registry types; with [dsql], temp-table schemas
+      resolve and duplicate emitted names agree on type.
+    - [R11.bounds] (needs a {!cost_model}): each node's optimizer row
+      estimate lies within the cardinality bounds the abstract interpreter
+      derives from the shell catalog (see {!Analysis}).
+    - [R12.contradiction] (needs a {!cost_model}): no predicate whose
+      abstract evaluation is bottom survives in the plan — such subtrees
+      must have been folded to a constant-empty operator. *)
 
 type violation = {
   rule : string;      (** rule id, e.g. ["R1.dist-rederive"] *)
@@ -59,7 +70,8 @@ type cost_model = {
 }
 
 (** [validate ?obs ?cost ?dsql ~shell plan] runs the whole catalog:
-    R0–R5 always, R6 when [cost] is given, R7–R9 when [dsql] is given.
+    R0–R5 always, R6 and R10–R12 when [cost] is given (the cost model
+    carries the registry the analyzer needs), R7–R9 when [dsql] is given.
     Returns all violations (empty = valid). Reports [check.rules_run] and
     [check.violations] into [obs]. *)
 val validate :

@@ -242,16 +242,39 @@ let memo_xml_stage shell : (Memo.t, string option * Memo.t) Stage.t =
       let xml = Memo.Memo_xml.export_string ~obs m in
       (Some xml, Memo.Memo_xml.import_string ~obs shell xml))
 
+(** [analyze]: imported MEMO -> empty-group predicate. The abstract
+    interpreter (DESIGN.md §12) runs over every memo group and marks the
+    ones whose derived cardinality upper bound is 0 (a contradictory
+    predicate somewhere below). Computed sequentially, before the
+    enumeration fans out, so the predicate handed to the wavefront is a
+    pure read. *)
+let analyze_stage shell (pdw_opts : Pdwopt.Enumerate.opts)
+  : (Memo.t, (int -> bool) option) Stage.t =
+  Stage.v ~name:"analyze" (fun obs m ->
+      if not pdw_opts.Pdwopt.Enumerate.fold_empty then None
+      else begin
+        let actx =
+          Analysis.context ~shell ~reg:m.Memo.reg
+            ~nodes:pdw_opts.Pdwopt.Enumerate.nodes
+        in
+        let empty = Analysis.empty_groups actx m in
+        let n = ref 0 in
+        Memo.iter_groups m (fun g -> if empty g.Memo.gid then incr n);
+        Obs.add obs "analysis.empty_groups" !n;
+        Some empty
+      end)
+
 (** [pdw]: imported MEMO -> distributed plan (Fig. 4, steps 01-09). A
     token trip raises {!Governor.Cancelled} — the caller degrades to the
     baseline fallback. [upper_bound] seeds the fixed pruning bound from
     the baseline plan's DMS cost (with a relative margin so the winner is
-    never bound-pruned on a float tie). *)
-let pdw_stage opts token pool upper_bound
+    never bound-pruned on a float tie). [empty] marks analyzer-proven
+    empty groups for contradiction-driven folding. *)
+let pdw_stage opts token pool upper_bound empty
   : (Memo.t, Pdwopt.Optimizer.result) Stage.t =
   Stage.v ~name:"pdw_optimize"
     (fun obs m ->
-       Pdwopt.Optimizer.optimize ~obs ~opts ~token ~pool ?upper_bound m)
+       Pdwopt.Optimizer.optimize ~obs ~opts ~token ~pool ?upper_bound ?empty m)
 
 (** [dsql]: distributed plan -> DSQL steps (Fig. 4, steps 10-11). *)
 let dsql_stage reg : (Pdwopt.Pplan.t, Dsql.Generate.plan) Stage.t =
@@ -379,7 +402,10 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
         baseline_plan
     in
     match
-      let pdw = Stage.run obs (pdw_stage opts.pdw token pool upper_bound) memo in
+      let empty = Stage.run obs (analyze_stage shell opts.pdw) memo in
+      let pdw =
+        Stage.run obs (pdw_stage opts.pdw token pool upper_bound empty) memo
+      in
       let dsql = Stage.run obs (dsql_stage memo.Memo.reg) pdw.Pdwopt.Optimizer.plan in
       if check then
         Stage.run obs

@@ -214,7 +214,11 @@ let hint (t, h) =
     statement deadline / memo-budget knobs (v3): a plan compiled under a
     tight budget explores a different space than a full-budget one, so the
     two must never alias — even though degraded results are additionally
-    refused admission outright (see {!note_degraded}). *)
+    refused admission outright (see {!note_degraded}). v4 adds the PDW
+    [fold_empty] analysis knob: a plan compiled with contradiction-driven
+    folding off must not be served when folding is on (or vice versa) —
+    the two agree only when no group is proven empty, which the
+    fingerprint cannot know. *)
 let fingerprint ?live_nodes ?(governor = Governor.no_limits)
     ~(shell : Catalog.Shell_db.t)
     ~(serial : Serialopt.Optimizer.options) ~(pdw : Pdwopt.Enumerate.opts)
@@ -228,16 +232,17 @@ let fingerprint ?live_nodes ?(governor = Governor.no_limits)
   let fopt = function None -> "-" | Some f -> Printf.sprintf "%h" f in
   let iopt = function None -> "-" | Some i -> string_of_int i in
   String.concat "|"
-    [ Printf.sprintf "v3;nodes=%d;live=%s;stats=%d"
+    [ Printf.sprintf "v4;nodes=%d;live=%s;stats=%d"
         (Catalog.Shell_db.node_count shell)
         (String.concat "," (List.map string_of_int live))
         (Catalog.Shell_db.stats_version shell);
       Printf.sprintf "serial=%d,%b,%b" serial.Serialopt.Optimizer.task_budget
         serial.Serialopt.Optimizer.enable_merge_join
         serial.Serialopt.Optimizer.enable_stream_agg;
-      Printf.sprintf "pdw=%d,%b,%b,%d,[%s],%s" pdw.Pdwopt.Enumerate.nodes
+      Printf.sprintf "pdw=%d,%b,%b,%d,%b,[%s],%s" pdw.Pdwopt.Enumerate.nodes
         pdw.Pdwopt.Enumerate.serial_tiebreak pdw.Pdwopt.Enumerate.prune
         pdw.Pdwopt.Enumerate.max_options_per_group
+        pdw.Pdwopt.Enumerate.fold_empty
         (String.concat ";" (List.map hint pdw.Pdwopt.Enumerate.hints))
         (lambdas pdw.Pdwopt.Enumerate.lambdas);
       Printf.sprintf "base=%d,%s" baseline.Baseline.nodes

@@ -135,6 +135,14 @@ type t = {
           the caller domain (never inside the pool fan-out, so the
           simulated clock stays bit-identical at any [--jobs]);
           {!Governor.none} by default *)
+  mutable bounds : (int, float * float) Hashtbl.t option;
+      (** static cardinality bounds per memo group ([--assert-bounds]):
+          after each Serial/Move node executes, the observed global row
+          count is checked against the analyzer's [lo, hi] interval for
+          the node's group; [None] (the default) disables the check *)
+  mutable bound_violations : int;
+      (** operators whose observed rows fell outside the static bounds
+          since [bounds] was last set *)
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
@@ -144,7 +152,8 @@ let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
     storage = Array.init nodes (fun _ -> Hashtbl.create 16);
     account = fresh_account (); obs; pool; check;
     fault = Fault.none; epoch = 0; live = List.init nodes Fun.id;
-    step_no = 0; cur_step = 0; cur_attempt = 0; token = Governor.none }
+    step_no = 0; cur_step = 0; cur_attempt = 0; token = Governor.none;
+    bounds = None; bound_violations = 0 }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
@@ -171,6 +180,12 @@ let set_token t token = t.token <- token
 
 (** Original node ids still alive (current node index -> original id). *)
 let live_nodes t = t.live
+
+(** Arm (or disarm, with [None]) the static-bounds assertion for the next
+    statements; resets the violation tally. *)
+let set_bounds t bounds =
+  t.bounds <- bounds;
+  t.bound_violations <- 0
 
 let reset_account t = assign_account ~dst:t.account (fresh_account ())
 
@@ -681,6 +696,37 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
 
 (* -- full distributed plan execution -- *)
 
+(* [--assert-bounds]: check an executed operator's observed global row
+   count against the analyzer's static [lo, hi] for its memo group
+   (DESIGN.md §12). The observed count follows the distribution: a hashed
+   stream's rows sum across nodes, a replicated stream counts one copy, a
+   control-resident stream counts the control payload. Split-introduced
+   internal operators carry group -1 and have no static bounds. The ±0.5
+   slack makes the integral comparison robust to float accumulation. *)
+let assert_bounds (t : t) (p : Pdwopt.Pplan.t) (d : dstream) : dstream =
+  (match t.bounds with
+   | None -> ()
+   | Some tbl ->
+     if p.Pdwopt.Pplan.group >= 0 then
+       (match Hashtbl.find_opt tbl p.Pdwopt.Pplan.group with
+        | None -> ()
+        | Some (lo, hi) ->
+          let observed =
+            match d.dist with
+            | Dms.Distprop.Single_node -> float_of_int (Rset.count d.control)
+            | Dms.Distprop.Replicated ->
+              float_of_int (Rset.count d.per_node.(0))
+            | Dms.Distprop.Hashed _ ->
+              Array.fold_left
+                (fun a r -> a +. float_of_int (Rset.count r))
+                0. d.per_node
+          in
+          if observed < lo -. 0.5 || observed > hi +. 0.5 then begin
+            t.bound_violations <- t.bound_violations + 1;
+            Obs.add t.obs "analysis.bound_violations" 1
+          end));
+  d
+
 (** Execute a PDW plan on the appliance. Returns the final client result
     (rows + layout); accounting accumulates in [t.account].
 
@@ -738,14 +784,14 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
       Obs.with_span t.obs ("engine.op." ^ Memo.Physop.name op) @@ fun () ->
       with_recovery t (fun () -> run_serial t op children)
     in
-    { d with dist = p.Pdwopt.Pplan.dist }
+    assert_bounds t p { d with dist = p.Pdwopt.Pplan.dist }
   | Pdwopt.Pplan.Move { kind; cols } ->
     let child =
       match p.Pdwopt.Pplan.children with
       | [ c ] -> exec_node t c
       | _ -> raise (Local.Exec_error "Move expects one child")
     in
-    with_recovery t (fun () -> run_move t kind ~cols child)
+    assert_bounds t p (with_recovery t (fun () -> run_move t kind ~cols child))
   | Pdwopt.Pplan.Return _ ->
     raise (Local.Exec_error "nested Return")
 

@@ -67,6 +67,8 @@ type t = {
   mutable cur_step : int;
   mutable cur_attempt : int;
   mutable token : Governor.token;
+  mutable bounds : (int, float * float) Hashtbl.t option;
+  mutable bound_violations : int;
 }
 
 val create :
@@ -98,6 +100,16 @@ val set_token : t -> Governor.token -> unit
 
 (** Original node ids still alive (current node index -> original id). *)
 val live_nodes : t -> int list
+
+(** Arm (or disarm, with [None]) the static cardinality-bounds assertion
+    ([--assert-bounds]): a per-memo-group [lo, hi] table (see
+    {!Analysis.group_bounds}); after each executed Serial/Move operator
+    the observed global row count is checked against its group's interval
+    and each violation bumps [bound_violations] and the
+    [analysis.bound_violations] counter. Resets the tally. Decommissioned
+    replacements do not inherit the table (the bounds were derived for the
+    old topology's statistics). *)
+val set_bounds : t -> (int, float * float) Hashtbl.t option -> unit
 
 val reset_account : t -> unit
 

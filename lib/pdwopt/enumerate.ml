@@ -46,6 +46,9 @@ type opts = {
   hints : (string * [ `Broadcast | `Shuffle ]) list;
       (** paper §3.1 query hints: restrict a base table's kept options to
           replicated ([`Broadcast]) or hash-partitioned ([`Shuffle]) *)
+  fold_empty : bool;
+      (** fold groups proven empty by the analyzer (the [empty] predicate
+          of {!create_ctx}) to a constant-empty operator before costing *)
 }
 
 let default_opts = {
@@ -55,6 +58,7 @@ let default_opts = {
   prune = true;
   max_options_per_group = 512;
   hints = [];
+  fold_empty = true;
 }
 
 type stats = {
@@ -84,6 +88,9 @@ type ctx = {
   stats : stats;
   token : Governor.token;
   pool : Par.t;
+  empty : int -> bool;
+      (* groups proven empty by the analyzer (read-only, precomputed
+         sequentially; shared by worker domains) *)
 }
 
 (* -- local/global aggregation split -- *)
@@ -96,13 +103,14 @@ and split = {
 }
 
 let create_ctx ?(token = Governor.none) ?(pool = Par.sequential) ?upper_bound
-    m derived o =
+    ?(empty = fun _ -> false) m derived o =
   { m; derived; o;
     table = Hashtbl.create 64;
     splits = Hashtbl.create 8;
     bound = Atomic.make (Option.value upper_bound ~default:infinity);
     stats = fresh_stats ();
-    token; pool }
+    token; pool;
+    empty = (if o.fold_empty then empty else fun _ -> false) }
 
 let options_table ctx = ctx.table
 let stats_of ctx = ctx.stats
@@ -278,8 +286,8 @@ let enumerate_expr ctx st lookup gid gprops acc idx
     let dist = scan_dist ctx table cols in
     add_option ctx st acc (mk_serial op dist [])
   | Physop.Const_empty _, [] ->
-    add_option ctx st acc (mk_serial op Dms.Distprop.Replicated []);
-    add_option ctx st acc (mk_serial op Dms.Distprop.Single_node [])
+    add_option ctx st acc (mk_serial ~rows:0. op Dms.Distprop.Replicated []);
+    add_option ctx st acc (mk_serial ~rows:0. op Dms.Distprop.Single_node [])
   | (Physop.Filter _ | Physop.Sort_op _), [ c ] ->
     List.iter
       (fun (cd, cp) -> add_option ctx st acc (mk_serial op cd [ cp ]))
@@ -511,21 +519,24 @@ let compute_levels ctx root =
         Hashtbl.replace in_prog gid ();
         let lv = ref 0 in
         let child c = lv := max !lv (1 + visit c) in
-        List.iteri
-          (fun idx ((op : Physop.t), (children : int array)) ->
-             match op, Array.to_list children with
-             | (Physop.Filter _ | Physop.Sort_op _ | Physop.Compute _), [ c ] ->
-               child c
-             | Physop.Union_op, [ l; r ]
-             | (Physop.Hash_join _ | Physop.Nl_join _), [ l; r ] ->
-               child l;
-               child r
-             | Physop.Hash_agg { keys; aggs }, [ c ] ->
-               child c;
-               Hashtbl.replace ctx.splits (gid, idx)
-                 (split_aggs ctx.m.Memo.reg keys aggs)
-             | _ -> ())
-          (Memo.physical_exprs ctx.m gid);
+        (* a group proven empty folds to Const_empty: its subtree is never
+           enumerated (or split-precomputed) unless another parent needs it *)
+        if not (ctx.empty gid) then
+          List.iteri
+            (fun idx ((op : Physop.t), (children : int array)) ->
+               match op, Array.to_list children with
+               | (Physop.Filter _ | Physop.Sort_op _ | Physop.Compute _), [ c ] ->
+                 child c
+               | Physop.Union_op, [ l; r ]
+               | (Physop.Hash_join _ | Physop.Nl_join _), [ l; r ] ->
+                 child l;
+                 child r
+               | Physop.Hash_agg { keys; aggs }, [ c ] ->
+                 child c;
+                 Hashtbl.replace ctx.splits (gid, idx)
+                   (split_aggs ctx.m.Memo.reg keys aggs)
+               | _ -> ())
+            (Memo.physical_exprs ctx.m gid);
         Hashtbl.remove in_prog gid;
         Hashtbl.replace level gid !lv;
         order := gid :: !order;
@@ -557,9 +568,15 @@ let enumerate_one ctx gid =
   in
   let acc = ref [] in
   let gprops = Memo.props ctx.m gid in
-  List.iteri
-    (fun idx e -> enumerate_expr ctx st lookup gid gprops acc idx e)
-    (Memo.physical_exprs ctx.m gid);
+  if ctx.empty gid then
+    (* contradiction-driven folding: the group provably produces no rows,
+       so a constant-empty operator replaces its whole expression list *)
+    enumerate_expr ctx st lookup gid gprops acc 0
+      (Physop.Const_empty (Registry.Col_set.elements gprops.Memo.cols), [||])
+  else
+    List.iteri
+      (fun idx e -> enumerate_expr ctx st lookup gid gprops acc idx e)
+      (Memo.physical_exprs ctx.m gid);
   enforcer_step ctx st gid gprops acc;
   (apply_hints ctx gid (List.map snd !acc), st)
 

@@ -30,6 +30,11 @@ type opts = {
   hints : (string * [ `Broadcast | `Shuffle ]) list;
       (** paper §3.1 query hints: restrict a base table's kept options to
           replicated ([`Broadcast]) or hash-partitioned ([`Shuffle]) *)
+  fold_empty : bool;
+      (** fold groups proven empty (the [empty] predicate of {!create_ctx})
+          to a constant-empty operator before costing, skipping their
+          subtrees' enumeration; default on. Plans are unchanged whenever
+          no group is proven empty. *)
 }
 
 val default_opts : opts
@@ -57,9 +62,14 @@ type ctx
     fixed DMS-cost bound (typically the serial baseline plan's cost, with
     margin): options strictly above it are dropped; since DMS cost only
     accumulates upward, no winning plan is lost, and because the bound
-    never moves during a pass the kept tables are schedule-independent. *)
+    never moves during a pass the kept tables are schedule-independent.
+    [empty] marks groups proven empty by the static analyzer (see
+    {!Analysis.empty_groups}); when [fold_empty] is set they are folded to
+    constant-empty operators. The predicate must be a pure read (it is
+    shared across worker domains) — precompute it sequentially. *)
 val create_ctx :
   ?token:Governor.token -> ?pool:Par.t -> ?upper_bound:float ->
+  ?empty:(int -> bool) ->
   Memo.t -> Derive.t -> opts -> ctx
 
 (** The per-group kept options (augmented MEMO), for inspection. *)

@@ -116,14 +116,14 @@ let report_obs obs (ctx : Enumerate.ctx) (derived : Derive.t) (m : Memo.t)
 
 (** Run steps 01-09 over an (imported) MEMO and return the chosen plan. *)
 let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts)
-    ?(token = Governor.none) ?(pool = Par.sequential) ?upper_bound
+    ?(token = Governor.none) ?(pool = Par.sequential) ?upper_bound ?empty
     (m : Memo.t) : result =
   (* 02-03: preprocessing *)
   preprocess_merge m;
   (* 04: top-down property derivation *)
   let derived = Derive.derive m in
   (* 05-07: bottom-up enumeration, leveled wavefront over [pool] *)
-  let ctx = Enumerate.create_ctx ~token ~pool ?upper_bound m derived opts in
+  let ctx = Enumerate.create_ctx ~token ~pool ?upper_bound ?empty m derived opts in
   let root = Memo.root m in
   let options = Enumerate.optimize_group ctx root in
   (* A finite bound can starve the root when the best distributed plan
@@ -133,7 +133,7 @@ let optimize ?(obs = Obs.null) ?(opts = Enumerate.default_opts)
      pool size. *)
   let ctx, options =
     if options = [] && upper_bound <> None then begin
-      let ctx = Enumerate.create_ctx ~token ~pool m derived opts in
+      let ctx = Enumerate.create_ctx ~token ~pool ?empty m derived opts in
       (ctx, Enumerate.optimize_group ctx root)
     end
     else (ctx, options)

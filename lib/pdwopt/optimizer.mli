@@ -21,7 +21,10 @@ exception No_plan of string
     worth keeping — the anytime fallback lives one layer up, in [Opdw]).
     [pool] parallelizes the enumeration across memo dependency levels; the
     chosen plan is bit-identical at any pool size. [upper_bound] seeds the
-    fixed DMS-cost pruning bound (see {!Enumerate.create_ctx}). *)
+    fixed DMS-cost pruning bound (see {!Enumerate.create_ctx}). [empty]
+    marks groups the static analyzer proved empty; with
+    [opts.fold_empty] they are folded to constant-empty operators before
+    costing (the retry-unbounded path folds identically). *)
 val optimize :
   ?obs:Obs.t -> ?opts:Enumerate.opts -> ?token:Governor.token ->
-  ?pool:Par.t -> ?upper_bound:float -> Memo.t -> result
+  ?pool:Par.t -> ?upper_bound:float -> ?empty:(int -> bool) -> Memo.t -> result

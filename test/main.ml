@@ -26,4 +26,5 @@ let () =
       ("par", Test_par.suite);
       ("plancache", Test_plancache.suite);
       ("fault", Test_fault.suite);
-      ("governor", Test_governor.suite) ]
+      ("governor", Test_governor.suite);
+      ("analysis", Test_analysis.suite) ]

@@ -57,9 +57,9 @@ let expect_rules ~rules vs =
 (* -- positive: real plans validate clean -- *)
 
 let test_rule_catalog () =
-  Alcotest.(check int) "ten rules" 10 (List.length Check.rules);
+  Alcotest.(check int) "thirteen rules" 13 (List.length Check.rules);
   let ids = List.map (fun r -> r.Check.id) Check.rules in
-  Alcotest.(check int) "unique ids" 10
+  Alcotest.(check int) "unique ids" 13
     (List.length (List.sort_uniq compare ids));
   List.iter
     (fun r ->

@@ -83,6 +83,53 @@ let test_tbl_stats_merge () =
   let cs = Option.get (Tbl_stats.col m "a") in
   Alcotest.(check bool) "merged max" true (cs.Col_stats.max_v = Some (Value.Int 14))
 
+(* -- edge cases the analysis layer leans on (empty / single-value /
+      all-null / min==max) -- *)
+
+let test_empty_table () =
+  let h = Histogram.build [] in
+  checkf "total rows" 0. (Histogram.total_rows h);
+  checkf "non-null" 0. (Histogram.non_null_rows h);
+  Alcotest.(check bool) "no min" true (Histogram.min_value h = None);
+  Alcotest.(check bool) "no max" true (Histogram.max_value h = None);
+  checkf "rows_eq on empty" 0. (Histogram.rows_eq h (Value.Int 1));
+  let s = Col_stats.of_values [] in
+  checkf "ndv" 0. s.Col_stats.ndv;
+  checkf "null_frac" 0. s.Col_stats.null_frac;
+  Alcotest.(check bool) "stats min/max absent" true
+    (s.Col_stats.min_v = None && s.Col_stats.max_v = None)
+
+let test_single_value_column () =
+  let h = Histogram.build (ints (List.init 50 (fun _ -> 7))) in
+  Alcotest.(check bool) "min = max = 7" true
+    (Histogram.min_value h = Some (Value.Int 7)
+     && Histogram.max_value h = Some (Value.Int 7));
+  checkf "all rows at the value" 50. (Histogram.rows_eq h (Value.Int 7));
+  checkf "le at the value is total" 50. (Histogram.rows_le h (Value.Int 7));
+  checkf "nothing strictly above" 0.
+    (Histogram.rows_ge ~strict:true h (Value.Int 7));
+  let s = Col_stats.of_values (ints (List.init 50 (fun _ -> 7))) in
+  check_in "ndv 1" 0.5 1.5 s.Col_stats.ndv
+
+let test_all_null_column () =
+  let h = Histogram.build (List.init 10 (fun _ -> Value.Null)) in
+  checkf "total rows" 10. (Histogram.total_rows h);
+  checkf "non-null" 0. (Histogram.non_null_rows h);
+  Alcotest.(check bool) "no min over nulls" true (Histogram.min_value h = None);
+  let s = Col_stats.of_values (List.init 10 (fun _ -> Value.Null)) in
+  checkf "null_frac 1" 1. s.Col_stats.null_frac;
+  checkf "ndv 0" 0. s.Col_stats.ndv
+
+let test_min_eq_max_buckets () =
+  (* one distinct value forced through many buckets: bucket boundaries all
+     collapse to [7, 7]; estimates must stay exact, not NaN/0-width *)
+  let h = Histogram.build ~nbuckets:16 (ints (List.init 100 (fun _ -> 7))) in
+  checkf "rows_eq exact" 100. (Histogram.rows_eq h (Value.Int 7));
+  checkf "rows_le below" 0. (Histogram.rows_le h (Value.Int 6));
+  checkf "rows_ge above" 0. (Histogram.rows_ge h (Value.Int 8));
+  let m = Histogram.merge [ h; Histogram.build (ints [ 7 ]) ] in
+  check_in "merge keeps the point mass" 100. 102. (Histogram.rows_eq m (Value.Int 7))
+
 (* properties *)
 let arb_ints = QCheck.(list_of_size (Gen.int_range 0 200) (int_range (-50) 50))
 
@@ -124,6 +171,10 @@ let suite =
     t "col stats merge" test_col_stats_merge;
     t "table stats" test_tbl_stats;
     t "table stats merge (local->global)" test_tbl_stats_merge;
+    t "empty table" test_empty_table;
+    t "single-value column" test_single_value_column;
+    t "all-null column" test_all_null_column;
+    t "min==max buckets" test_min_eq_max_buckets;
     QCheck_alcotest.to_alcotest prop_le_monotone;
     QCheck_alcotest.to_alcotest prop_mass_conserved;
     QCheck_alcotest.to_alcotest prop_merge_mass ]

@@ -74,6 +74,12 @@ let test_fingerprint_sensitivity () =
                 { Dms.Cost.default_lambdas with Dms.Cost.l_network = 1e-6 } }
        shell tree);
   differs "seeding flag re-keys" (fingerprint_of ~seed_collocated:true shell tree);
+  (* v4: a plan compiled with contradiction-driven folding off must not be
+     served when folding is on (and vice versa) *)
+  differs "fold_empty analysis knob re-keys"
+    (fingerprint_of
+       ~pdw:{ Pdwopt.Enumerate.default_opts with Pdwopt.Enumerate.fold_empty = false }
+       shell tree);
   (* a statistics update bumps the shell's version and must miss *)
   let tbl = Catalog.Shell_db.find_exn shell "orders" in
   Catalog.Shell_db.set_stats shell "orders" tbl.Catalog.Shell_db.stats;
