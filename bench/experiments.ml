@@ -1406,6 +1406,117 @@ let e20 () =
      tightness %.2fx (static hi over observed rows, TOP-clamped)\n"
     !violations_total (geomean !tightness)
 
+(* ------------------------------------------------------------------ *)
+(* E21: feedback-driven calibration -- model error before/after, and   *)
+(* the LKG plan store's regression fallback                            *)
+(* ------------------------------------------------------------------ *)
+
+let e21 () =
+  section "E21"
+    "Feedback calibration: model-error reduction and LKG regression fallback";
+  let nodes = 8 and sf = 0.005 in
+  (* fresh workloads: calibration rewrites catalog statistics and the
+     regression scenario corrupts them, neither may leak into the shared
+     workload cache used by the other experiments *)
+  let fresh () = Opdw.Workload.tpch ~node_count:nodes ~sf () in
+
+  (* -- part A: one feedback pass over the whole workload -- *)
+  let w = fresh () in
+  let shell = w.Opdw.Workload.shell and app = w.Opdw.Workload.app in
+  let fb = Opdw.Feedback.create w.Opdw.Workload.shell app in
+  let err (oc : Opdw.Feedback.run_outcome) =
+    Opdw.Feedback.model_error oc.Opdw.Feedback.res
+      ~dms_time:oc.Opdw.Feedback.observed_dms
+  in
+  let measure ~bounds q =
+    if bounds then begin
+      (* R11 soundness gate for the refined statistics: executed row
+         counts must stay inside the analyzer's static bounds *)
+      let r =
+        Opdw.optimize ~options:(Opdw.Feedback.options fb)
+          ~cache:(Opdw.Feedback.plan_cache fb)
+          ~calibration:(Opdw.Feedback.epoch fb) shell q.Tpch.Queries.sql
+      in
+      let actx =
+        Analysis.context ~shell ~reg:r.Opdw.memo.Memo.reg ~nodes
+      in
+      Engine.Appliance.set_bounds app
+        (Some (Analysis.group_bounds actx (Opdw.plan r)))
+    end;
+    let e = err (Opdw.Feedback.run fb q.Tpch.Queries.sql) in
+    let v = if bounds then app.Engine.Appliance.bound_violations else 0 in
+    if bounds then Engine.Appliance.set_bounds app None;
+    (e, v)
+  in
+  let before = List.map (fun q -> fst (measure ~bounds:false q)) Tpch.Queries.all in
+  let cal = Opdw.Feedback.calibrate fb in
+  let after_v = List.map (measure ~bounds:true) Tpch.Queries.all in
+  let after = List.map fst after_v in
+  let violations = List.fold_left (fun a (_, v) -> a + v) 0 after_v in
+  rowf "%-7s %-14s %-14s\n" "query" "err(before)" "err(after)";
+  List.iteri
+    (fun i q ->
+       let b = List.nth before i and a = List.nth after i in
+       record "E21" (q.Tpch.Queries.id ^ ".error_before") b;
+       record "E21" (q.Tpch.Queries.id ^ ".error_after") a;
+       rowf "%-7s %-14.4g %-14.4g\n" q.Tpch.Queries.id b a)
+    Tpch.Queries.all;
+  let gb = geomean before and ga = geomean after in
+  record "E21" "geomean_error_before" gb;
+  record "E21" "geomean_error_after" ga;
+  record "E21" "improvement_x" (gb /. ga);
+  recordi "E21" "refined_columns" (List.length cal.Opdw.Feedback.refined);
+  recordi "E21" "bound_violations" violations;
+  List.iter
+    (fun (f : Opdw.Feedback.Lambda.fit) ->
+       record "E21"
+         ("lambda." ^ Dms.Calibrate.component_name f.Opdw.Feedback.Lambda.f_component)
+         f.Opdw.Feedback.Lambda.f_lambda)
+    cal.Opdw.Feedback.fits;
+  Printf.printf
+    "\ngeomean model-vs-sim error: %.4g -> %.4g (%.1fx better) after one\n\
+     feedback pass; %d columns refined; %d bound violations post-refinement\n"
+    gb ga (gb /. ga) (List.length cal.Opdw.Feedback.refined) violations;
+
+  (* -- part B: adversarial stats skew, LKG fallback bounds the damage -- *)
+  let w = fresh () in
+  let shell = w.Opdw.Workload.shell in
+  let fb = Opdw.Feedback.create shell w.Opdw.Workload.app in
+  let sql = query "Q3" in
+  let oc1 = Opdw.Feedback.run fb sql in
+  let tbl = Catalog.Shell_db.find_exn shell "lineitem" in
+  Catalog.Shell_db.set_stats shell "lineitem"
+    { tbl.Catalog.Shell_db.stats with Catalog.Tbl_stats.row_count = 10. };
+  let oracle = Engine.Local.canonical oc1.Opdw.Feedback.rows in
+  let matched = ref 1 and recover_round = ref 0 in
+  Printf.printf
+    "\nregression scenario (Q3, lineitem stats corrupted after round 1):\n";
+  let describe i (oc : Opdw.Feedback.run_outcome) =
+    rowf "round %d: %-13s sim %.4gs%s\n" i
+      (Opdw.Feedback.Store.outcome_name oc.Opdw.Feedback.store_outcome)
+      oc.Opdw.Feedback.observed_sim
+      (if oc.Opdw.Feedback.fellback then "  (LKG fallback)" else "")
+  in
+  describe 1 oc1;
+  for i = 2 to 4 do
+    let oc = Opdw.Feedback.run fb sql in
+    describe i oc;
+    if Engine.Local.canonical oc.Opdw.Feedback.rows = oracle then incr matched;
+    if oc.Opdw.Feedback.fellback && !recover_round = 0 then recover_round := i
+  done;
+  let store = Opdw.Feedback.store fb in
+  let availability = float_of_int !matched /. 4. in
+  recordi "E21" "regression.regressions" (Opdw.Feedback.Store.regressions store);
+  recordi "E21" "regression.fallbacks" (Opdw.Feedback.Store.fallbacks store);
+  recordi "E21" "regression.recover_round" !recover_round;
+  record "E21" "regression.availability" availability;
+  Printf.printf
+    "availability %.3g (%d/4 rounds returned oracle rows); %d regression(s),\n\
+     %d fallback(s); LKG served from round %d\n"
+    availability !matched
+    (Opdw.Feedback.Store.regressions store)
+    (Opdw.Feedback.Store.fallbacks store) !recover_round
+
 let all () =
   e1 ();
   e2 ();
@@ -1426,7 +1537,8 @@ let all () =
   e17 ();
   e18 ();
   e19 ();
-  e20 ()
+  e20 ();
+  e21 ()
 
 let by_id = function
   | "E1" -> e1 ()
@@ -1449,4 +1561,5 @@ let by_id = function
   | "E18" -> e18 ()
   | "E19" -> e19 ()
   | "E20" -> e20 ()
-  | id -> Printf.printf "unknown experiment %s (E1..E20)\n" id
+  | "E21" -> e21 ()
+  | id -> Printf.printf "unknown experiment %s (E1..E21)\n" id

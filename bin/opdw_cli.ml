@@ -10,6 +10,11 @@
      check    - run the static plan-validity analyzer over optimized plans
      analyze  - run the abstract interpreter (types, ranges, cardinality
                 bounds, contradictions) over optimized plans
+     calibrate - run the feedback loop once (execute, harvest, fold the
+                observations back into the catalog) and report the model
+                error before/after
+     planstore - drive queries through the last-known-good plan store and
+                dump its state (LKG plans, quarantines, fallbacks)
      queries  - list the bundled workload queries
 
    All subcommands operate against the TPC-H shell database; the query may
@@ -179,6 +184,32 @@ let fault_schedule_t =
                site=<name> step=<k> [node=] [attempt=] [epoch=] [factor=]); \
                implies $(b,--chaos) and overrides $(b,--fault-seed)/$(b,--fault-rate).")
 
+(* -- feedback options -- *)
+
+let feedback_t =
+  Arg.(value & flag
+       & info [ "feedback" ]
+         ~doc:"Execute through the feedback driver: harvest observed per-operator \
+               cardinalities and DMS volumes into a feedback log, record each \
+               plan's observed cost in the last-known-good plan store, and fall \
+               back to the LKG plan automatically when a recompiled plan's \
+               fingerprint is quarantined after repeated regressions.")
+
+let feedback_log_t =
+  Arg.(value & opt (some string) None
+       & info [ "feedback-log" ] ~docv:"FILE"
+         ~doc:"Persist the feedback log: loaded before the run when FILE exists \
+               (bit-exact round-trip), saved back after. Implies $(b,--feedback) \
+               for $(b,run).")
+
+(* short display digest of a (long, canonical) plan-cache fingerprint *)
+let fp_digest fp = String.sub (Digest.to_hex (Digest.string fp)) 0 12
+
+let geomean = function
+  | [] -> 1.
+  | xs ->
+    exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+
 (* -- governor options -- *)
 
 let deadline_ms_t =
@@ -325,9 +356,9 @@ let compare_engines_run ~nodes ~sf ~options ~check ~pool text =
   if not (rows_ok && sim_ok) then exit 1
 
 let run nodes sf query sql file seed budget limit jobs no_cache check assert_bounds
-    repeat chaos fault_seed fault_rate fault_schedule deadline_ms sim_deadline_ms
-    memo_budget max_concurrent queue_limit breaker engine compare_engines profile
-    debug =
+    repeat chaos fault_seed fault_rate fault_schedule feedback feedback_log
+    deadline_ms sim_deadline_ms memo_budget max_concurrent queue_limit breaker
+    engine compare_engines profile debug =
   let w = setup ~engine ~nodes ~sf () in
   let text = resolve_sql query sql file in
   let limits = limits_of ~deadline_ms ~sim_deadline_ms ~memo_budget in
@@ -353,8 +384,33 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
       (Some (Analysis.group_bounds actx (Opdw.plan r0)))
   end;
   let chaos = chaos || fault_schedule <> None in
+  let feedback = feedback || feedback_log <> None in
+  if feedback && chaos then begin
+    prerr_endline "--feedback and --chaos are mutually exclusive";
+    exit 1
+  end;
+  (* the feedback driver and its last outcome, kept for the summary below *)
+  let fb_info = ref None in
   let r, res, app =
-    if chaos then begin
+    if feedback then begin
+      let log =
+        match feedback_log with
+        | Some f when Sys.file_exists f -> Opdw.Feedback.Log.load f
+        | _ -> Opdw.Feedback.Log.create ()
+      in
+      let fb =
+        Opdw.Feedback.create ?cache ~options ~check ~log w.Opdw.Workload.shell app
+      in
+      let once () = Opdw.Feedback.run ~obs fb text in
+      let oc = ref (once ()) in
+      for _ = 2 to max 1 repeat do oc := once () done;
+      (match feedback_log with
+       | Some f -> Opdw.Feedback.Log.save (Opdw.Feedback.log fb) f
+       | None -> ());
+      fb_info := Some (fb, !oc);
+      ((!oc).Opdw.Feedback.res, (!oc).Opdw.Feedback.rows, app)
+    end
+    else if chaos then begin
       let fault =
         match fault_schedule with
         | Some f -> Fault.load_schedule f
@@ -430,6 +486,18 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
     | cs ->
       List.iter (fun (k, v) -> Printf.printf "  %-28s %.6g\n" k v) cs
   end;
+  (match !fb_info with
+   | Some (fb, oc) ->
+     let s = Opdw.Feedback.store fb in
+     Printf.printf
+       "feedback: %d log record(s); model error %.4g; outcome %s%s; \
+        %d regression(s), %d fallback(s)\n"
+       (Opdw.Feedback.Log.length (Opdw.Feedback.log fb))
+       (Opdw.Feedback.model_error r ~dms_time:oc.Opdw.Feedback.observed_dms)
+       (Opdw.Feedback.Store.outcome_name oc.Opdw.Feedback.store_outcome)
+       (if oc.Opdw.Feedback.fellback then " (served LKG fallback)" else "")
+       (Opdw.Feedback.Store.regressions s) (Opdw.Feedback.Store.fallbacks s)
+   | None -> ());
   if repeat > 1 then
     Printf.printf "(%d rounds; execution used %d domains; plan cache %s)\n" repeat
       (Par.jobs pool) (if no_cache then "off" else "on");
@@ -441,6 +509,17 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
   if compare_engines then
     compare_engines_run ~nodes ~sf ~options:(options_of ~nodes ~seed ~budget)
       ~check ~pool text;
+  (* the plan-cache stats snapshot rides along with --profile/--debug *)
+  if profile || debug then begin
+    let pr c =
+      Printf.printf "plan cache: %s\n"
+        (Opdw.Plancache.stats_to_string (Opdw.Plancache.stats c))
+    in
+    match !fb_info, cache with
+    | Some (fb, _), _ -> pr (Opdw.Feedback.plan_cache fb)
+    | None, Some c -> pr c
+    | None, None -> ()
+  end;
   print_profile obs
 
 let run_cmd =
@@ -456,9 +535,10 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
           $ jobs_t $ no_cache_t $ check_t $ assert_bounds_t $ repeat $ chaos_t
-          $ fault_seed_t $ fault_rate_t $ fault_schedule_t $ deadline_ms_t
-          $ sim_deadline_ms_t $ memo_budget_t $ max_concurrent_t $ queue_limit_t
-          $ breaker_t $ engine_t $ compare_engines_t $ profile_t $ debug_t)
+          $ fault_seed_t $ fault_rate_t $ fault_schedule_t $ feedback_t
+          $ feedback_log_t $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t
+          $ max_concurrent_t $ queue_limit_t $ breaker_t $ engine_t
+          $ compare_engines_t $ profile_t $ debug_t)
 
 (* -- overload -- *)
 
@@ -748,6 +828,304 @@ let analyze_cmd =
     Term.(const analyze $ nodes_t $ sf_t $ all_t $ query_t $ sql_t $ file_t
           $ seed_t $ budget_t $ json_t)
 
+(* -- calibrate -- *)
+
+(* calibrate / planstore default to the whole bundled workload when no
+   explicit query is given — feedback calibration is a workload-level
+   operation, unlike the single-statement subcommands *)
+let feedback_targets ~all ~query ~sql ~file =
+  if all || (query = None && sql = None && file = None) then
+    List.map (fun q -> (q.Tpch.Queries.id, q.Tpch.Queries.sql)) Tpch.Queries.all
+  else workload_targets ~all ~query ~sql ~file
+
+let calibrate nodes sf all query sql file seed budget jobs feedback_log
+    expect_improvement json =
+  let w = setup ~nodes ~sf () in
+  let shell = w.Opdw.Workload.shell and app = w.Opdw.Workload.app in
+  let options = options_of ~nodes ~seed ~budget in
+  let targets = feedback_targets ~all ~query ~sql ~file in
+  Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+  @@ fun pool ->
+  Engine.Appliance.set_pool app pool;
+  let log =
+    match feedback_log with
+    | Some f when Sys.file_exists f -> Opdw.Feedback.Log.load f
+    | _ -> Opdw.Feedback.Log.create ()
+  in
+  let fb = Opdw.Feedback.create ~options ~log shell app in
+  let violations = ref 0 in
+  (* one measured execution through the feedback driver; with [bounds] the
+     abstract interpreter's static cardinality bounds are derived first and
+     every executed operator is checked against them (the R11 soundness
+     gate for the refined statistics) *)
+  let measure ~bounds (id, text) =
+    if bounds then begin
+      let r0 =
+        Opdw.optimize ~options:(Opdw.Feedback.options fb)
+          ~cache:(Opdw.Feedback.plan_cache fb)
+          ~calibration:(Opdw.Feedback.epoch fb) shell text
+      in
+      let actx =
+        Analysis.context ~shell ~reg:r0.Opdw.memo.Memo.reg
+          ~nodes:options.Opdw.pdw.Pdwopt.Enumerate.nodes
+      in
+      Engine.Appliance.set_bounds app
+        (Some (Analysis.group_bounds actx (Opdw.plan r0)))
+    end;
+    let oc = Opdw.Feedback.run fb text in
+    if bounds then begin
+      violations := !violations + app.Engine.Appliance.bound_violations;
+      Engine.Appliance.set_bounds app None
+    end;
+    (id,
+     Opdw.Feedback.model_error oc.Opdw.Feedback.res
+       ~dms_time:oc.Opdw.Feedback.observed_dms)
+  in
+  (* pass 1: harvest observations and per-query model error under the seed
+     statistics; calibrate; pass 2: re-measure under the refined catalog *)
+  let before = List.map (measure ~bounds:false) targets in
+  let cal = Opdw.Feedback.calibrate fb in
+  let after = List.map (measure ~bounds:true) targets in
+  (match feedback_log with
+   | Some f -> Opdw.Feedback.Log.save (Opdw.Feedback.log fb) f
+   | None -> ());
+  let g_before = geomean (List.map snd before)
+  and g_after = geomean (List.map snd after) in
+  let fit_line (f : Opdw.Feedback.Lambda.fit) =
+    Printf.sprintf "%s=%.4g (err %.3g, %d samples)"
+      (Dms.Calibrate.component_name f.Opdw.Feedback.Lambda.f_component)
+      f.Opdw.Feedback.Lambda.f_lambda f.Opdw.Feedback.Lambda.f_error
+      f.Opdw.Feedback.Lambda.f_samples
+  in
+  if json then begin
+    let per_query =
+      List.map2
+        (fun (id, b) (_, a) ->
+           Printf.sprintf
+             "\n  {\"query\": \"%s\", \"error_before\": %.6g, \"error_after\": %.6g}"
+             (json_escape id) b a)
+        before after
+    in
+    let refined =
+      List.map
+        (fun (m : Opdw.Feedback.Misses.miss) ->
+           Printf.sprintf
+             "{\"table\": \"%s\", \"column\": \"%s\", \"worst\": %.6g, \"ops\": %d}"
+             (json_escape m.Opdw.Feedback.Misses.m_table)
+             (json_escape m.Opdw.Feedback.Misses.m_column)
+             m.Opdw.Feedback.Misses.m_worst m.Opdw.Feedback.Misses.m_ops)
+        cal.Opdw.Feedback.refined
+    in
+    Printf.printf
+      "{\"queries\": [%s\n],\n \"geomean_before\": %.6g, \"geomean_after\": %.6g,\n \
+       \"improved\": %b, \"refined_columns\": [%s],\n \"epoch\": %d, \
+       \"bound_violations\": %d}\n"
+      (String.concat "," per_query) g_before g_after (g_after < g_before)
+      (String.concat ", " refined) cal.Opdw.Feedback.new_epoch !violations
+  end
+  else begin
+    print_endline "query   error(before)  error(after)";
+    List.iter2
+      (fun (id, b) (_, a) -> Printf.printf "%-7s %13.4g %13.4g\n" id b a)
+      before after;
+    Printf.printf "geomean model-vs-sim error: %.4g -> %.4g over %d queries (%s)\n"
+      g_before g_after (List.length targets)
+      (if g_after < g_before then "improved" else "NOT improved");
+    (match cal.Opdw.Feedback.refined with
+     | [] -> print_endline "refined columns: none (no estimate missed the threshold)"
+     | ms ->
+       Printf.printf "refined columns (%d):\n" (List.length ms);
+       List.iter
+         (fun (m : Opdw.Feedback.Misses.miss) ->
+            Printf.printf "  %s.%s  worst miss %.3gx over %d op(s)\n"
+              m.Opdw.Feedback.Misses.m_table m.Opdw.Feedback.Misses.m_column
+              m.Opdw.Feedback.Misses.m_worst m.Opdw.Feedback.Misses.m_ops)
+         ms);
+    Printf.printf "lambdas: %s\n"
+      (String.concat "; " (List.map fit_line cal.Opdw.Feedback.fits));
+    Printf.printf "calibration epoch: %d; bound check: %d operator(s) outside \
+                   refined static bounds\n"
+      cal.Opdw.Feedback.new_epoch !violations
+  end;
+  if !violations > 0 then exit 1;
+  if expect_improvement && g_after >= g_before then begin
+    prerr_endline "expected the geomean model error to shrink after calibration";
+    exit 1
+  end
+
+let calibrate_cmd =
+  let expect_improvement_t =
+    Arg.(value & flag
+         & info [ "expect-improvement" ]
+           ~doc:"Exit nonzero unless the geomean model-vs-sim error strictly \
+                 shrank after calibration (CI smoke for the feedback loop).")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Run the feedback loop once over the workload: execute each query \
+             with the observation harvest armed, fold the observed \
+             cardinalities and DMS volumes back into the catalog (histogram \
+             refinement + λ re-fit), then re-execute and report the per-query \
+             and geomean model-vs-sim cost error before and after. The second \
+             pass re-checks the abstract interpreter's cardinality bounds \
+             against the refined statistics; any violation exits 1.")
+    Term.(const calibrate $ nodes_t $ sf_t $ all_t $ query_t $ sql_t $ file_t
+          $ seed_t $ budget_t $ jobs_t $ feedback_log_t $ expect_improvement_t
+          $ json_t)
+
+(* -- planstore -- *)
+
+let planstore nodes sf all query sql file seed budget jobs runs
+    inject_regression skew_table json =
+  let w = setup ~nodes ~sf () in
+  let shell = w.Opdw.Workload.shell and app = w.Opdw.Workload.app in
+  let options = options_of ~nodes ~seed ~budget in
+  let targets = feedback_targets ~all ~query ~sql ~file in
+  Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+  @@ fun pool ->
+  Engine.Appliance.set_pool app pool;
+  let fb = Opdw.Feedback.create ~options shell app in
+  let rounds = max (if inject_regression then 4 else 1) runs in
+  (* oracle rows per query from round 1 (the plan that becomes LKG);
+     availability = fraction of answered rounds returning oracle rows *)
+  let oracle = Hashtbl.create 8 and matched = ref 0 and answered = ref 0 in
+  let round_lines = ref [] in
+  for i = 1 to rounds do
+    if inject_regression && i = 2 then begin
+      (* adversarial stats skew, applied after the LKG is recorded: the
+         optimizer now believes the table is tiny, recompiles (set_stats
+         bumps stats_version, re-keying fingerprint v5) and picks a plan
+         that regresses against the LKG *)
+      match Catalog.Shell_db.find shell skew_table with
+      | None ->
+        Printf.eprintf "unknown table %s for --inject-regression\n" skew_table;
+        exit 1
+      | Some tbl ->
+        Catalog.Shell_db.set_stats shell skew_table
+          { tbl.Catalog.Shell_db.stats with Catalog.Tbl_stats.row_count = 10. }
+    end;
+    List.iter
+      (fun (id, text) ->
+         let oc = Opdw.Feedback.run fb text in
+         let rendered = render_rows oc.Opdw.Feedback.rows in
+         incr answered;
+         (match Hashtbl.find_opt oracle id with
+          | None -> Hashtbl.add oracle id rendered; incr matched
+          | Some o -> if rendered = o then incr matched);
+         round_lines :=
+           Printf.sprintf "round %d: %-5s %-13s sim %.4gs  plan %s%s" i id
+             (Opdw.Feedback.Store.outcome_name oc.Opdw.Feedback.store_outcome)
+             oc.Opdw.Feedback.observed_sim
+             (match (oc.Opdw.Feedback.res).Opdw.fingerprint with
+              | Some fp -> fp_digest fp
+              | None -> "-")
+             (if oc.Opdw.Feedback.fellback then "  (LKG fallback)" else "")
+           :: !round_lines)
+      targets
+  done;
+  let store = Opdw.Feedback.store fb in
+  let availability = float_of_int !matched /. float_of_int (max 1 !answered) in
+  let stmt_id stmt =
+    (* map the store's statement key (normalized SQL) back to a query id *)
+    match
+      List.find_opt
+        (fun (_, text) -> Opdw.Feedback.statement_key text = stmt)
+        targets
+    with
+    | Some (id, _) -> id
+    | None -> String.sub stmt 0 (min 24 (String.length stmt))
+  in
+  if json then begin
+    let stmts =
+      List.map
+        (fun stmt ->
+           let id = stmt_id stmt in
+           let lkg =
+             match Opdw.Feedback.Store.lkg store stmt with
+             | Some (fp, _, sim) ->
+               Printf.sprintf "{\"plan\": \"%s\", \"sim\": %.6g}" (fp_digest fp) sim
+             | None -> "null"
+           in
+           let quarantined =
+             Opdw.Feedback.Store.quarantined store stmt
+             |> List.map (fun fp -> Printf.sprintf "\"%s\"" (fp_digest fp))
+           in
+           Printf.sprintf
+             "\n  {\"query\": \"%s\", \"lkg\": %s, \"quarantined\": [%s]}"
+             (json_escape id) lkg (String.concat ", " quarantined))
+        (Opdw.Feedback.Store.statements store)
+    in
+    Printf.printf
+      "{\"rounds\": %d, \"statements\": [%s\n],\n \"regressions\": %d, \
+       \"fallbacks\": %d, \"availability\": %.6g}\n"
+      rounds (String.concat "," stmts)
+      (Opdw.Feedback.Store.regressions store)
+      (Opdw.Feedback.Store.fallbacks store) availability
+  end
+  else begin
+    List.iter print_endline (List.rev !round_lines);
+    print_endline "== plan store ==";
+    List.iter
+      (fun stmt ->
+         let id = stmt_id stmt in
+         (match Opdw.Feedback.Store.lkg store stmt with
+          | Some (fp, _, sim) ->
+            Printf.printf "%-5s LKG %s (best sim %.4gs)" id (fp_digest fp) sim
+          | None -> Printf.printf "%-5s no LKG" id);
+         (match Opdw.Feedback.Store.quarantined store stmt with
+          | [] -> print_newline ()
+          | qs ->
+            Printf.printf "; quarantined: %s\n"
+              (String.concat ", " (List.map fp_digest qs))))
+      (Opdw.Feedback.Store.statements store);
+    Printf.printf
+      "%d round(s); %d regression(s); %d fallback(s); availability %.3g\n"
+      rounds (Opdw.Feedback.Store.regressions store)
+      (Opdw.Feedback.Store.fallbacks store) availability
+  end;
+  if availability < 1.0 then begin
+    prerr_endline "some round returned non-oracle rows";
+    exit 1
+  end;
+  if inject_regression && Opdw.Feedback.Store.fallbacks store = 0 then begin
+    prerr_endline
+      "expected the injected stats skew to quarantine a plan and fall back to LKG";
+    exit 1
+  end
+
+let planstore_cmd =
+  let runs_t =
+    Arg.(value & opt int 3
+         & info [ "runs" ] ~docv:"K"
+           ~doc:"Rounds: each target query is optimized and executed K times \
+                 through the feedback driver (minimum 4 with \
+                 $(b,--inject-regression)).")
+  in
+  let inject_regression_t =
+    Arg.(value & flag
+         & info [ "inject-regression" ]
+           ~doc:"After round 1 records the LKG plans, corrupt the statistics of \
+                 the skew table so the optimizer recompiles a regressing plan; \
+                 exits nonzero unless the store quarantines it and serves the \
+                 LKG fallback within the hysteresis window (and every round \
+                 still returns oracle rows).")
+  in
+  let skew_table_t =
+    Arg.(value & opt string "lineitem"
+         & info [ "skew-table" ] ~docv:"TABLE"
+           ~doc:"Table whose statistics $(b,--inject-regression) corrupts.")
+  in
+  Cmd.v
+    (Cmd.info "planstore"
+       ~doc:"Drive queries through the feedback driver's last-known-good plan \
+             store and dump its state: per-statement LKG plan and observed \
+             cost, quarantined fingerprints, regression and fallback totals, \
+             and answer availability (fraction of rounds returning the round-1 \
+             rows).")
+    Term.(const planstore $ nodes_t $ sf_t $ all_t $ query_t $ sql_t $ file_t
+          $ seed_t $ budget_t $ jobs_t $ runs_t $ inject_regression_t
+          $ skew_table_t $ json_t)
+
 (* -- queries -- *)
 
 let queries () =
@@ -766,7 +1144,7 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group (Cmd.info "opdw_cli" ~doc)
            [ explain_cmd; run_cmd; overload_cmd; memo_cmd; check_cmd; analyze_cmd;
-             queries_cmd ])
+             calibrate_cmd; planstore_cmd; queries_cmd ])
     with
     | Governor.Gate.Rejected rj ->
       Printf.eprintf
@@ -793,5 +1171,7 @@ let () =
       1
     | Fault.Schedule_error msg ->
       Printf.eprintf "bad fault schedule: %s\n" msg; 1
+    | Opdw.Feedback.Log.Parse_error msg ->
+      Printf.eprintf "bad feedback log: %s\n" msg; 1
   in
   exit code

@@ -57,6 +57,39 @@ let merge parts =
     in
     { ndv; null_frac; min_v; max_v; avg_width; histogram = merged }
 
+(** Refine statistics from a full multiset of observed values (feedback
+    loop). The histogram is rebuilt at [nbuckets] resolution via
+    {!Histogram.refine}; min/max only ever widen (union with the seeded
+    bounds) so analysis bounds stay sound. [refine t [] = t]; idempotent
+    for a fixed observation multiset. *)
+let refine ?(nbuckets = 32) t values =
+  match values with
+  | [] -> t
+  | _ ->
+    let h =
+      match t.histogram with
+      | Some h -> Histogram.refine ~nbuckets h values
+      | None -> Histogram.build ~nbuckets values
+    in
+    let avg_width =
+      let s = List.fold_left (fun a v -> a + Value.width v) 0 values in
+      float_of_int s /. float_of_int (List.length values)
+    in
+    let s = of_histogram ~avg_width h in
+    let vmin a b =
+      match a, b with
+      | Some x, Some y -> Some (if Value.compare x y <= 0 then x else y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None
+    in
+    let vmax a b =
+      match a, b with
+      | Some x, Some y -> Some (if Value.compare x y >= 0 then x else y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None
+    in
+    { s with min_v = vmin t.min_v s.min_v; max_v = vmax t.max_v s.max_v }
+
 let pp ppf t =
   Format.fprintf ppf "ndv=%g null_frac=%.3f min=%s max=%s width=%g" t.ndv t.null_frac
     (match t.min_v with Some v -> Value.to_string v | None -> "-")

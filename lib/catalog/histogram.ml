@@ -197,6 +197,33 @@ let merge ?(nbuckets = 32) parts =
         total_rows = total +. null_rows }
     end
 
+(** Refine a histogram from a full multiset of observed values (the
+    feedback loop's auto-stats refresh): rebuild at [nbuckets] resolution
+    from the observations, then widen the outer bucket bounds to cover the
+    previously seeded min/max. Widening-only: the refined domain always
+    contains the original one, so analysis bounds derived from
+    [min_value]/[max_value] (R11) stay sound. [refine t [] = t], and
+    refinement is idempotent for a fixed observation multiset. *)
+let refine ?(nbuckets = 32) t observations =
+  match observations with
+  | [] -> t
+  | _ ->
+    let fresh = build ~nbuckets observations in
+    let n = Array.length fresh.buckets in
+    if n = 0 then t (* all-null observations: nothing to rebucketize *)
+    else begin
+      let buckets = Array.copy fresh.buckets in
+      (match min_value t with
+       | Some m when Value.compare m buckets.(0).lo < 0 ->
+         buckets.(0) <- { (buckets.(0)) with lo = m }
+       | _ -> ());
+      (match max_value t with
+       | Some m when Value.compare m buckets.(n - 1).hi > 0 ->
+         buckets.(n - 1) <- { (buckets.(n - 1)) with hi = m }
+       | _ -> ());
+      { fresh with buckets }
+    end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>histogram: %g rows (%g null), %d buckets@," t.total_rows
     t.null_rows (Array.length t.buckets);

@@ -42,6 +42,16 @@ let set_stats t name stats =
     t.stats_version <- t.stats_version + 1
   | None -> invalid_arg (Printf.sprintf "Shell_db.set_stats: unknown table %s" name)
 
+(** Replace one column's statistics in place (feedback-driven refinement),
+    bumping [stats_version] so cached compilation artifacts keyed on it
+    (e.g. the plan cache) evict naturally. *)
+let update_col_stats t name col stats =
+  match find t name with
+  | Some tbl ->
+    Tbl_stats.set_col tbl.stats col stats;
+    t.stats_version <- t.stats_version + 1
+  | None -> invalid_arg (Printf.sprintf "Shell_db.update_col_stats: unknown table %s" name)
+
 let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
 
 let row_count tbl = Tbl_stats.row_count tbl.stats

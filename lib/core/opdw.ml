@@ -22,6 +22,11 @@
 module Stage = Stage
 module Plancache = Plancache
 
+(* the feedback library (log / misses / lambda-fit / plan store), aliased
+   so the engine-facing [Feedback] driver module below can re-export it
+   under its own name *)
+module Fbk = Feedback
+
 type options = {
   serial : Serialopt.Optimizer.options;
   pdw : Pdwopt.Enumerate.opts;
@@ -312,7 +317,7 @@ let baseline_stage opts reg shell
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
     ?(check = true) ?(live_nodes : int list option) ?(token = Governor.none)
-    ?(pool = Par.sequential)
+    ?(pool = Par.sequential) ?(calibration = 0)
     (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
@@ -464,7 +469,7 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
     | Some c ->
       let fp =
         Obs.with_span obs "plancache" @@ fun () ->
-        Plancache.fingerprint ?live_nodes ~shell ~serial:opts.serial
+        Plancache.fingerprint ?live_nodes ~calibration ~shell ~serial:opts.serial
           ~pdw:opts.pdw ~baseline:opts.baseline ~via_xml:opts.via_xml
           ~seed_collocated:opts.seed_collocated ~governor:opts.governor
           normalized
@@ -748,6 +753,242 @@ module Governed = struct
     Engine.Appliance.reset_account t.app;
     Governor.Gate.reset_stats t.gate;
     Governor.Breaker.reset_stats t.breaker
+end
+
+module Feedback = struct
+  (** The feedback-driven statement driver (DESIGN.md §13): the closed
+      execution → calibration → plan-store loop. Every {!run} harvests
+      what the appliance actually observed — per-operator cardinalities
+      and per-DMS-component (bytes, seconds) samples — into a persistent
+      {!Log}, and records the plan's observed sim/wall cost in a
+      last-known-good {!Store} keyed by plan-cache fingerprint.
+      {!calibrate} folds the log back into the shell catalog (histogram
+      refinement for columns whose estimates missed by more than the
+      threshold; λ re-fit from the observed DMS volumes) and bumps the
+      calibration epoch, which re-keys every fingerprint (v5). If a
+      recompiled plan then regresses against the LKG past the hysteresis
+      thresholds, its fingerprint is quarantined and {!run} automatically
+      falls back to the LKG plan. *)
+
+  module Log = Fbk.Log
+  module Misses = Fbk.Misses
+  module Lambda = Fbk.Lambda
+  module Store = Fbk.Store
+
+  type t = {
+    shell : Catalog.Shell_db.t;
+    app : Engine.Appliance.t;
+    mutable options : options;
+    cache : cache;
+    check : bool;
+    log : Log.t;
+    store : result Store.t;
+    miss_threshold : float;   (** estimation-error factor that flags a column *)
+    refine_buckets : int;     (** histogram resolution of refined statistics *)
+    mutable epoch : int;      (** calibration epoch, part of fingerprint v5 *)
+  }
+
+  let create ?cache ?options ?(check = true) ?(regress_factor = 1.2)
+      ?(streak_limit = 2) ?(miss_threshold = 2.0) ?(refine_buckets = 64) ?log
+      (shell : Catalog.Shell_db.t) (app : Engine.Appliance.t) : t =
+    let options =
+      match options with
+      | Some o -> o
+      | None -> default_options ~node_count:(Catalog.Shell_db.node_count shell)
+    in
+    { shell; app; options;
+      cache = (match cache with Some c -> c | None -> Plancache.create ());
+      check;
+      log = (match log with Some l -> l | None -> Log.create ());
+      store = Store.create ~regress_factor ~streak_limit ();
+      miss_threshold; refine_buckets; epoch = 0 }
+
+  let log t = t.log
+  let store t = t.store
+  let epoch t = t.epoch
+  let plan_cache t = t.cache
+  let options t = t.options
+
+  let statement_key = Governed.statement_key
+
+  (** Symmetric model-vs-sim cost error of one executed plan, always
+      >= 1: the model side is the plan's predicted DMS cost, the sim side
+      the DMS seconds the appliance actually charged. *)
+  let model_error (r : result) ~dms_time =
+    let m = (plan r).Pdwopt.Pplan.dms_cost and s = dms_time in
+    if m <= 0. || s <= 0. then 1. else Float.max (m /. s) (s /. m)
+
+  (* registry column ids -> catalog (table, column) names; derived columns
+     (aggregate outputs, computed projections) have no catalog statistics
+     object to refine and are dropped *)
+  let cols_of_ids (reg : Algebra.Registry.t) ids =
+    List.filter_map
+      (fun id ->
+         match (Algebra.Registry.info reg id).Algebra.Registry.source with
+         | Algebra.Registry.Base { table; column; _ } ->
+           Some (String.lowercase_ascii table, String.lowercase_ascii column)
+         | Algebra.Registry.Derived _ -> None
+         | exception Invalid_argument _ -> None)
+      ids
+    |> List.sort_uniq compare
+
+  let dms_observations (acct : Engine.Appliance.account) =
+    (* sample lists are built newest-first in the caller domain; reverse to
+       the deterministic append order before logging *)
+    List.concat_map
+      (fun comp ->
+         List.rev_map
+           (fun (s : Dms.Calibrate.sample) ->
+              { Log.d_component = comp; d_bytes = s.Dms.Calibrate.bytes;
+                d_seconds = s.Dms.Calibrate.seconds })
+           (Engine.Appliance.samples_of acct comp))
+      [ Dms.Calibrate.Reader_direct; Dms.Calibrate.Reader_hash;
+        Dms.Calibrate.Network; Dms.Calibrate.Writer; Dms.Calibrate.Blkcpy ]
+
+  type run_outcome = {
+    res : result;              (** the result actually executed (LKG on fallback) *)
+    rows : Engine.Local.rset;
+    observed_sim : float;      (** simulated seconds of this statement *)
+    observed_dms : float;      (** DMS portion of [observed_sim] *)
+    fellback : bool;           (** the compiled plan was quarantined; LKG ran *)
+    store_outcome : Store.outcome;
+  }
+
+  (** Optimize, (possibly) fall back, execute, harvest, record. The
+      appliance account is reset per run, so [observed_sim] is this
+      statement's simulated cost. Degraded (Anytime/Fallback) results are
+      executed but never recorded as LKG ({!Store.observe}). *)
+  let run ?(obs = Obs.null) (t : t) (sql : string) : run_outcome =
+    let key = statement_key sql in
+    let compiled =
+      optimize ~obs ~options:t.options ~cache:t.cache ~check:t.check
+        ~live_nodes:(Engine.Appliance.live_nodes t.app)
+        ~pool:t.app.Engine.Appliance.pool ~calibration:t.epoch t.shell sql
+    in
+    let fp = Option.get compiled.fingerprint in
+    (* pre-execution regression fallback: a quarantined fingerprint is
+       never run again (until a calibration epoch re-keys it); the
+       last-known-good plan runs in its place *)
+    let r, fellback =
+      match Store.resolve t.store ~statement:key ~fingerprint:fp with
+      | Some lkg ->
+        Obs.add obs "feedback.fallbacks" 1;
+        (lkg, true)
+      | None -> (compiled, false)
+    in
+    let fp_run = Option.value r.fingerprint ~default:fp in
+    Engine.Appliance.reset_account t.app;
+    let samples = ref [] in
+    Engine.Appliance.set_harvest t.app (Some samples);
+    let wall0 = Obs.default_clock () in
+    let rows =
+      Fun.protect
+        ~finally:(fun () -> Engine.Appliance.set_harvest t.app None)
+        (fun () -> execute_result ~obs ~cache:t.cache t.app r)
+    in
+    let wall = Obs.default_clock () -. wall0 in
+    let acct = t.app.Engine.Appliance.account in
+    let sim = acct.Engine.Appliance.sim_time in
+    let dms = acct.Engine.Appliance.dms_time in
+    let reg = r.memo.Memo.reg in
+    let ops =
+      List.rev_map
+        (fun (s : Engine.Appliance.op_sample) ->
+           { Log.o_group = s.Engine.Appliance.h_group; o_op = s.Engine.Appliance.h_op;
+             o_table = Option.map String.lowercase_ascii s.Engine.Appliance.h_table;
+             o_cols = cols_of_ids reg s.Engine.Appliance.h_cols;
+             o_est = s.Engine.Appliance.h_est; o_actual = s.Engine.Appliance.h_actual })
+        !samples
+    in
+    let degraded = r.degraded <> None in
+    Log.append t.log
+      { Log.r_statement = key; r_fingerprint = fp_run; r_ops = ops;
+        r_dms = dms_observations acct; r_sim = sim; r_wall = wall;
+        r_degraded = degraded };
+    let store_outcome =
+      Store.observe t.store ~statement:key ~fingerprint:fp_run ~degraded ~sim
+        ~wall r
+    in
+    (match store_outcome with
+     | Store.Regressed _ -> Obs.add obs "feedback.regressions" 1
+     | Store.Quarantined ->
+       Obs.add obs "feedback.regressions" 1;
+       Obs.add obs "feedback.quarantines" 1
+     | _ -> ());
+    { res = r; rows; observed_sim = sim; observed_dms = dms; fellback;
+      store_outcome }
+
+  (* all values of one column, gathered from the appliance's true shards in
+     node order (replicated tables read one copy) — deterministic at any
+     [--jobs] because shard contents and order are load-order stable *)
+  let column_values (t : t) table column =
+    match Catalog.Shell_db.find t.shell table with
+    | None -> None
+    | Some tbl ->
+      (match Catalog.Schema.find_col tbl.Catalog.Shell_db.schema column with
+       | None -> None
+       | Some idx ->
+         let nodes =
+           match tbl.Catalog.Shell_db.dist with
+           | Catalog.Distribution.Replicated -> [ 0 ]
+           | Catalog.Distribution.Hash_partitioned _ ->
+             List.init t.app.Engine.Appliance.nodes Fun.id
+         in
+         Some
+           (List.concat_map
+              (fun n ->
+                 List.map (fun row -> row.(idx))
+                   (Engine.Appliance.node_table t.app n table))
+              nodes))
+
+  type calibration = {
+    refined : Misses.miss list;       (** columns whose statistics were rebuilt *)
+    lambdas : Dms.Cost.lambdas;       (** the re-fitted λ table now in force *)
+    fits : Lambda.fit list;           (** per-component fit quality *)
+    new_epoch : int;
+  }
+
+  (** Fold the accumulated log back into the catalog: rebuild statistics
+      for every column whose estimates missed by more than
+      [miss_threshold] (a full-resolution scan of the true shards, via
+      {!Catalog.Col_stats.refine} — widening-only, so R11 bounds stay
+      sound), then re-fit the λ table from the observed DMS volumes and
+      install it in the driver's options. Both folds are pure functions of
+      the log (λs are always fitted against {!Dms.Cost.default_lambdas} as
+      the base, not compounded), so the same log yields bit-identical
+      refined stats and λs at any [--jobs]. Bumps the calibration epoch;
+      every statement recompiles on its next run (stats_version and the
+      epoch both re-key fingerprint v5). *)
+  let calibrate ?(obs = Obs.null) (t : t) : calibration =
+    let recs = Log.records t.log in
+    let misses = Misses.columns ~threshold:t.miss_threshold recs in
+    let refined =
+      List.filter
+        (fun (m : Misses.miss) ->
+           match column_values t m.Misses.m_table m.Misses.m_column with
+           | None -> false
+           | Some values ->
+             let tbl = Catalog.Shell_db.find_exn t.shell m.Misses.m_table in
+             let cs =
+               match Catalog.Shell_db.col_stats tbl m.Misses.m_column with
+               | Some cs -> cs
+               | None -> Catalog.Col_stats.make ()
+             in
+             Catalog.Shell_db.update_col_stats t.shell m.Misses.m_table
+               m.Misses.m_column
+               (Catalog.Col_stats.refine ~nbuckets:t.refine_buckets cs values);
+             true)
+        misses
+    in
+    let lambdas, fits = Lambda.fit recs in
+    t.options <-
+      { t.options with
+        pdw = { t.options.pdw with Pdwopt.Enumerate.lambdas };
+        baseline = { t.options.baseline with Baseline.lambdas } };
+    t.epoch <- t.epoch + 1;
+    Obs.add obs "feedback.calibrations" 1;
+    Obs.add obs "feedback.refined_columns" (List.length refined);
+    { refined; lambdas; fits; new_epoch = t.epoch }
 end
 
 module Workload = struct

@@ -22,6 +22,10 @@ module Stage = Stage
 (** The bounded LRU plan cache and its fingerprinting; see {!Plancache}. *)
 module Plancache = Plancache
 
+(** The feedback library (observation log, miss analysis, λ re-fit, LKG
+    plan store) — re-exported under {!Feedback} (the driver) below. *)
+module Fbk = Feedback
+
 (** Pipeline configuration. *)
 type options = {
   serial : Serialopt.Optimizer.options;
@@ -38,7 +42,8 @@ type options = {
       (** statement deadline (wall seconds), execution deadline (simulated
           seconds, interpreted by {!Governed}), and memo-size budget;
           {!Governor.no_limits} by default. Part of the plan-cache
-          fingerprint (v3). *)
+          fingerprint (since v3; v5 additionally carries the feedback
+          calibration epoch). *)
 }
 
 (** Defaults for an appliance with [node_count] compute nodes: full
@@ -143,10 +148,16 @@ val cache : ?capacity:int -> unit -> cache
     [pool] parallelizes compilation itself: serial exploration's rule
     matching and the PDW enumeration's leveled wavefront both fan out on
     it. The chosen plan — fingerprint, costs, DSQL text — is bit-identical
-    at any pool size (default: the shared sequential pool). *)
+    at any pool size (default: the shared sequential pool).
+
+    [calibration] (default 0) is the feedback calibration epoch carried in
+    fingerprint v5; the {!Feedback} driver bumps it on every
+    {!Feedback.calibrate} so plans from different calibration states never
+    alias in the cache or the plan store. *)
 val optimize :
   ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
   ?live_nodes:int list -> ?token:Governor.token -> ?pool:Par.t ->
+  ?calibration:int ->
   Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)
@@ -265,6 +276,101 @@ module Governed : sig
       (sim clock + [fault.*] tallies) plus gate and breaker counters.
       Breaker open/closed states survive. *)
   val reset : t -> unit
+end
+
+(** The feedback-driven statement driver (DESIGN.md §13): a closed
+    execution → calibration → plan-store loop. {!Feedback.run} executes a
+    statement while harvesting observed per-operator cardinalities and
+    per-DMS-component (bytes, seconds) samples into a persistent
+    {!Feedback.Log}, and records the plan's observed sim/wall cost in a
+    last-known-good {!Feedback.Store} keyed by plan-cache fingerprint.
+    {!Feedback.calibrate} folds the log back into the shell catalog
+    (histogram refinement for columns missed by more than the threshold;
+    λ re-fit from observed DMS volumes) and bumps the calibration epoch
+    (fingerprint v5). A recompiled plan that regresses against the LKG
+    past the hysteresis thresholds (observed sim > [regress_factor] × LKG
+    for [streak_limit] consecutive runs) is quarantined, and {!Feedback.run}
+    automatically falls back to the LKG plan. Degraded (Anytime/Fallback)
+    results are never recorded as LKG. All of it is deterministic: the
+    same feedback log and seed yield bit-identical refined statistics and
+    plans at any [--jobs]. *)
+module Feedback : sig
+  (** Observation records and their bit-exact text persistence. *)
+  module Log = Fbk.Log
+
+  (** Which columns the optimizer's estimates missed on. *)
+  module Misses = Fbk.Misses
+
+  (** λ re-fitting from logged DMS volumes. *)
+  module Lambda = Fbk.Lambda
+
+  (** The generic LKG plan store (hysteresis / quarantine / fallback). *)
+  module Store = Fbk.Store
+
+  type t
+
+  (** [create ?cache ?options ?check ?regress_factor ?streak_limit
+      ?miss_threshold ?refine_buckets ?log shell app] — [cache] defaults
+      to a fresh plan cache (the driver requires one: fingerprints key the
+      plan store); [regress_factor] (default 1.2) and [streak_limit]
+      (default 2) are the hysteresis thresholds; [miss_threshold]
+      (default 2.0) flags columns for refinement; [refine_buckets]
+      (default 64) is the refined histograms' resolution; [log] seeds the
+      driver with a previously persisted {!Log.t}. *)
+  val create :
+    ?cache:cache -> ?options:options -> ?check:bool ->
+    ?regress_factor:float -> ?streak_limit:int ->
+    ?miss_threshold:float -> ?refine_buckets:int -> ?log:Fbk.Log.t ->
+    Catalog.Shell_db.t -> Engine.Appliance.t -> t
+
+  val log : t -> Fbk.Log.t
+  val store : t -> result Fbk.Store.t
+  val epoch : t -> int
+  val plan_cache : t -> cache
+
+  (** The driver's current options ({!calibrate} installs re-fitted λs). *)
+  val options : t -> options
+
+  (** The plan store's per-statement key (normalized SQL text). *)
+  val statement_key : string -> string
+
+  (** Symmetric model-vs-sim cost error of one executed plan, always
+      >= 1: predicted DMS cost vs the DMS seconds the appliance charged. *)
+  val model_error : result -> dms_time:float -> float
+
+  type run_outcome = {
+    res : result;           (** the result actually executed (LKG on fallback) *)
+    rows : Engine.Local.rset;
+    observed_sim : float;   (** simulated seconds of this statement *)
+    observed_dms : float;   (** DMS portion of [observed_sim] *)
+    fellback : bool;        (** the compiled plan was quarantined; LKG ran *)
+    store_outcome : Fbk.Store.outcome;
+  }
+
+  (** Optimize, (possibly) fall back to LKG, execute with the harvest
+      armed, append to the log, record in the store. Emits
+      [feedback.regressions] / [feedback.quarantines] /
+      [feedback.fallbacks] counters into [obs]. The appliance account is
+      reset per run, so [observed_sim] is this statement's cost. *)
+  val run : ?obs:Obs.t -> t -> string -> run_outcome
+
+  type calibration = {
+    refined : Fbk.Misses.miss list;  (** columns whose statistics were rebuilt *)
+    lambdas : Dms.Cost.lambdas;      (** the re-fitted λ table now in force *)
+    fits : Fbk.Lambda.fit list;      (** per-component fit quality *)
+    new_epoch : int;
+  }
+
+  (** Fold the accumulated log back into the catalog: refine statistics of
+      every column whose estimates missed by more than [miss_threshold]
+      (full-resolution rebuild from the true shards — widening-only, so
+      R11 analysis bounds stay sound), re-fit λs from observed DMS
+      volumes, install them in the driver's options, and bump the
+      calibration epoch (stats_version and the epoch both re-key
+      fingerprint v5, so every statement recompiles on its next run). A
+      pure function of the log: the same log yields bit-identical refined
+      stats and λs at any [--jobs]. *)
+  val calibrate : ?obs:Obs.t -> t -> calibration
 end
 
 (** Batteries-included workload setup. *)

@@ -143,6 +143,14 @@ let stats t =
     evictions_invalid = t.evictions_invalid;
     evictions_degraded = t.evictions_degraded }
 
+(** One-line render of a {!stats} snapshot (for [run --profile]). *)
+let stats_to_string s =
+  Printf.sprintf
+    "size=%d/%d hits=%d misses=%d evictions=%d (lru=%d invalid=%d degraded=%d)"
+    s.size s.capacity s.hits s.misses
+    (s.evictions + s.evictions_invalid + s.evictions_degraded)
+    s.evictions s.evictions_invalid s.evictions_degraded
+
 let clear t =
   with_lock t @@ fun () ->
   Hashtbl.reset t.table;
@@ -218,8 +226,14 @@ let hint (t, h) =
     [fold_empty] analysis knob: a plan compiled with contradiction-driven
     folding off must not be served when folding is on (or vice versa) —
     the two agree only when no group is proven empty, which the
-    fingerprint cannot know. *)
-let fingerprint ?live_nodes ?(governor = Governor.no_limits)
+    fingerprint cannot know. v5 adds the feedback [calibration] epoch
+    (default 0): feedback-driven calibration re-fits λs and refines
+    histograms between runs of the {e same} catalog object graph, and the
+    epoch re-keys every statement after a calibration pass even when a
+    statement's plan happens to be insensitive to the refreshed inputs —
+    the plan store compares observed costs per fingerprint, so plans from
+    different calibration states must never alias. *)
+let fingerprint ?live_nodes ?(governor = Governor.no_limits) ?(calibration = 0)
     ~(shell : Catalog.Shell_db.t)
     ~(serial : Serialopt.Optimizer.options) ~(pdw : Pdwopt.Enumerate.opts)
     ~(baseline : Baseline.opts) ~(via_xml : bool) ~(seed_collocated : bool)
@@ -232,10 +246,11 @@ let fingerprint ?live_nodes ?(governor = Governor.no_limits)
   let fopt = function None -> "-" | Some f -> Printf.sprintf "%h" f in
   let iopt = function None -> "-" | Some i -> string_of_int i in
   String.concat "|"
-    [ Printf.sprintf "v4;nodes=%d;live=%s;stats=%d"
+    [ Printf.sprintf "v5;nodes=%d;live=%s;stats=%d;cal=%d"
         (Catalog.Shell_db.node_count shell)
         (String.concat "," (List.map string_of_int live))
-        (Catalog.Shell_db.stats_version shell);
+        (Catalog.Shell_db.stats_version shell)
+        calibration;
       Printf.sprintf "serial=%d,%b,%b" serial.Serialopt.Optimizer.task_budget
         serial.Serialopt.Optimizer.enable_merge_join
         serial.Serialopt.Optimizer.enable_stream_agg;

@@ -89,6 +89,19 @@ let samples_of account (c : Dms.Calibrate.component) =
 
 (* -- the appliance -- *)
 
+(** One executed operator's estimate-vs-observed cardinality sample
+    (feedback harvest). [h_cols] are registry column ids of the columns
+    the operator's predicates/keys constrain; the caller maps them back to
+    catalog (table, column) names with the plan's registry. *)
+type op_sample = {
+  h_group : int;            (** MEMO group of the operator (-1 if internal) *)
+  h_op : string;            (** physical operator name *)
+  h_table : string option;  (** scanned table, for scans *)
+  h_cols : int list;        (** registry column ids, sorted *)
+  h_est : float;            (** optimizer's global row estimate *)
+  h_actual : float;         (** observed global rows *)
+}
+
 type t = {
   shell : Catalog.Shell_db.t;
   nodes : int;
@@ -143,6 +156,11 @@ type t = {
   mutable bound_violations : int;
       (** operators whose observed rows fell outside the static bounds
           since [bounds] was last set *)
+  mutable harvest : op_sample list ref option;
+      (** feedback harvest (DESIGN.md §13): when armed, every executed
+          Serial operator appends an estimate-vs-observed cardinality
+          sample to the ref (caller domain, bottom-up plan order, so the
+          list is deterministic at any [--jobs]); [None] disables *)
 }
 
 let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
@@ -153,7 +171,7 @@ let create ?(hw = default_hw) ?(obs = Obs.null) ?(pool = Par.sequential)
     account = fresh_account (); obs; pool; check;
     fault = Fault.none; epoch = 0; live = List.init nodes Fun.id;
     step_no = 0; cur_step = 0; cur_attempt = 0; token = Governor.none;
-    bounds = None; bound_violations = 0 }
+    bounds = None; bound_violations = 0; harvest = None }
 
 (** Attach an observability context (typically per executed query). *)
 let set_obs t obs = t.obs <- obs
@@ -186,6 +204,10 @@ let live_nodes t = t.live
 let set_bounds t bounds =
   t.bounds <- bounds;
   t.bound_violations <- 0
+
+(** Arm (or disarm, with [None]) the feedback cardinality harvest for the
+    next statements. Samples accumulate in the given ref, newest first. *)
+let set_harvest t harvest = t.harvest <- harvest
 
 let reset_account t = assign_account ~dst:t.account (fresh_account ())
 
@@ -703,6 +725,13 @@ let run_serial (t : t) (op : Memo.Physop.t) (children : dstream list) : dstream 
    control-resident stream counts the control payload. Split-introduced
    internal operators carry group -1 and have no static bounds. The ±0.5
    slack makes the integral comparison robust to float accumulation. *)
+let observed_rows (d : dstream) =
+  match d.dist with
+  | Dms.Distprop.Single_node -> float_of_int (Rset.count d.control)
+  | Dms.Distprop.Replicated -> float_of_int (Rset.count d.per_node.(0))
+  | Dms.Distprop.Hashed _ ->
+    Array.fold_left (fun a r -> a +. float_of_int (Rset.count r)) 0. d.per_node
+
 let assert_bounds (t : t) (p : Pdwopt.Pplan.t) (d : dstream) : dstream =
   (match t.bounds with
    | None -> ()
@@ -711,21 +740,36 @@ let assert_bounds (t : t) (p : Pdwopt.Pplan.t) (d : dstream) : dstream =
        (match Hashtbl.find_opt tbl p.Pdwopt.Pplan.group with
         | None -> ()
         | Some (lo, hi) ->
-          let observed =
-            match d.dist with
-            | Dms.Distprop.Single_node -> float_of_int (Rset.count d.control)
-            | Dms.Distprop.Replicated ->
-              float_of_int (Rset.count d.per_node.(0))
-            | Dms.Distprop.Hashed _ ->
-              Array.fold_left
-                (fun a r -> a +. float_of_int (Rset.count r))
-                0. d.per_node
-          in
+          let observed = observed_rows d in
           if observed < lo -. 0.5 || observed > hi +. 0.5 then begin
             t.bound_violations <- t.bound_violations + 1;
             Obs.add t.obs "analysis.bound_violations" 1
           end));
   d
+
+(* Feedback harvest (DESIGN.md §13): record what this serial operator's
+   estimate said against what actually flowed. Runs in the caller domain
+   after the operator's (recovered) execution, so the sample order is the
+   deterministic bottom-up plan traversal at any [--jobs]. *)
+let harvest_op (t : t) (p : Pdwopt.Pplan.t) (op : Memo.Physop.t) (d : dstream) =
+  match t.harvest with
+  | None -> ()
+  | Some acc ->
+    let open Memo.Physop in
+    let of_set s = Algebra.Registry.Col_set.elements s in
+    let table, cols =
+      match op with
+      | Table_scan { table; _ } -> (Some table, [])
+      | Filter pred -> (None, of_set (Algebra.Expr.cols pred))
+      | Hash_join { pred; _ } | Merge_join { pred; _ } | Nl_join { pred; _ } ->
+        (None, of_set (Algebra.Expr.cols pred))
+      | Hash_agg { keys; _ } | Stream_agg { keys; _ } -> (None, List.sort_uniq compare keys)
+      | Compute _ | Sort_op _ | Union_op | Const_empty _ -> (None, [])
+    in
+    acc :=
+      { h_group = p.Pdwopt.Pplan.group; h_op = Memo.Physop.name op; h_table = table;
+        h_cols = cols; h_est = p.Pdwopt.Pplan.rows; h_actual = observed_rows d }
+      :: !acc
 
 (** Execute a PDW plan on the appliance. Returns the final client result
     (rows + layout); accounting accumulates in [t.account].
@@ -784,7 +828,9 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
       Obs.with_span t.obs ("engine.op." ^ Memo.Physop.name op) @@ fun () ->
       with_recovery t (fun () -> run_serial t op children)
     in
-    assert_bounds t p { d with dist = p.Pdwopt.Pplan.dist }
+    let d = assert_bounds t p { d with dist = p.Pdwopt.Pplan.dist } in
+    harvest_op t p op d;
+    d
   | Pdwopt.Pplan.Move { kind; cols } ->
     let child =
       match p.Pdwopt.Pplan.children with

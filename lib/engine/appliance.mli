@@ -50,6 +50,19 @@ type account = {
 (** Calibration samples recorded for one DMS component. *)
 val samples_of : account -> Dms.Calibrate.component -> Dms.Calibrate.sample list
 
+(** One executed operator's estimate-vs-observed cardinality sample
+    (feedback harvest, DESIGN.md §13). [h_cols] are registry column ids;
+    the caller maps them back to catalog (table, column) names with the
+    plan's registry. *)
+type op_sample = {
+  h_group : int;            (** MEMO group of the operator (-1 if internal) *)
+  h_op : string;            (** physical operator name *)
+  h_table : string option;  (** scanned table, for scans *)
+  h_cols : int list;        (** registry column ids, sorted *)
+  h_est : float;            (** optimizer's global row estimate *)
+  h_actual : float;         (** observed global rows *)
+}
+
 type t = {
   shell : Catalog.Shell_db.t;
   nodes : int;
@@ -69,6 +82,7 @@ type t = {
   mutable token : Governor.token;
   mutable bounds : (int, float * float) Hashtbl.t option;
   mutable bound_violations : int;
+  mutable harvest : op_sample list ref option;
 }
 
 val create :
@@ -110,6 +124,12 @@ val live_nodes : t -> int list
     replacements do not inherit the table (the bounds were derived for the
     old topology's statistics). *)
 val set_bounds : t -> (int, float * float) Hashtbl.t option -> unit
+
+(** Arm (or disarm, with [None]) the feedback cardinality harvest: every
+    executed Serial operator appends an {!op_sample} to the ref (newest
+    first). Samples are recorded in the caller domain in bottom-up plan
+    order, so the list is deterministic at any [--jobs]. *)
+val set_harvest : t -> op_sample list ref option -> unit
 
 val reset_account : t -> unit
 

@@ -78,11 +78,11 @@ let schedule ?(policy = default_policy) events =
 exception Schedule_error of string
 
 let parse_schedule text =
-  let parse_line lineno line =
+  let parse_line lineno raw =
     let line =
-      match String.index_opt line '#' with
-      | Some i -> String.sub line 0 i
-      | None -> line
+      match String.index_opt raw '#' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
     in
     let line = String.trim line in
     if line = "" then None
@@ -93,7 +93,13 @@ let parse_schedule text =
         |> List.filter (fun s -> s <> "")
       in
       let err fmt =
-        Printf.ksprintf (fun m -> raise (Schedule_error (Printf.sprintf "line %d: %s" lineno m))) fmt
+        (* report where AND what: the line number plus the raw offending
+           text, so a bad --fault-schedule line is findable at a glance *)
+        Printf.ksprintf
+          (fun m ->
+             raise
+               (Schedule_error (Printf.sprintf "line %d: %s, in %S" lineno m (String.trim raw))))
+          fmt
       in
       let kvs =
         List.map
@@ -157,7 +163,11 @@ let load_schedule ?policy file =
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  schedule ?policy (parse_schedule text)
+  let events =
+    try parse_schedule text
+    with Schedule_error msg -> raise (Schedule_error (Printf.sprintf "%s: %s" file msg))
+  in
+  schedule ?policy events
 
 (* -- deterministic draws --
 

@@ -92,10 +92,12 @@ exception Schedule_error of string
     optional), [#] comments and blank lines ignored. Example:
     {v site=dms_transfer step=2 attempt=0
        site=node_crash step=0 node=1 v}
-    Raises {!Schedule_error} on malformed input. *)
+    Raises {!Schedule_error} on malformed input; the message names the
+    offending line number and quotes its raw text. *)
 val parse_schedule : string -> event list
 
-(** [load_schedule file] reads and parses a schedule file. *)
+(** [load_schedule file] reads and parses a schedule file. Parse errors are
+    re-raised with [file] prefixed to the message. *)
 val load_schedule : ?policy:policy -> string -> plan
 
 (** [fires plan ~site ~epoch ~step ~node ~attempt] — does a fault fire at

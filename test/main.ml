@@ -27,4 +27,5 @@ let () =
       ("plancache", Test_plancache.suite);
       ("fault", Test_fault.suite);
       ("governor", Test_governor.suite);
-      ("analysis", Test_analysis.suite) ]
+      ("analysis", Test_analysis.suite);
+      ("feedback", Test_feedback.suite) ]

@@ -93,7 +93,23 @@ let test_schedule_parse () =
   rejects "missing site" "step=3";
   rejects "unknown site" "site=disk_melt step=0";
   rejects "unknown field" "site=temp_write step=0 color=red";
-  rejects "bad int" "site=temp_write step=abc"
+  rejects "bad int" "site=temp_write step=abc";
+  (* the error names the offending line and quotes its raw text *)
+  (match
+     Fault.parse_schedule "site=dms_transfer step=1\nsite=disk_melt step=0\n"
+   with
+   | _ -> Alcotest.fail "accepted unknown site"
+   | exception Fault.Schedule_error msg ->
+     let contains needle =
+       Alcotest.(check bool)
+         (Printf.sprintf "%S mentions %S" msg needle)
+         true
+         (let nl = String.length needle and ml = String.length msg in
+          let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+          go 0)
+     in
+     contains "line 2";
+     contains "site=disk_melt step=0")
 
 let test_schedule_fires () =
   let plan = Fault.schedule [ Fault.event Fault.Dms_transfer 2 ] in

@@ -57,6 +57,56 @@ let test_col_stats_of_values () =
   check_in "ndv" 2.5 3.5 s.Col_stats.ndv;
   check_in "null_frac" 0.19 0.21 s.Col_stats.null_frac
 
+(* -- feedback-driven refinement (Histogram.refine / Col_stats.refine) -- *)
+
+let test_refine_empty_obs () =
+  let h = Histogram.build (uniform 1000) in
+  let r = Histogram.refine h [] in
+  Alcotest.(check bool) "identity on empty observations" true (r == h)
+
+let test_refine_all_null_obs () =
+  let h = Histogram.build (ints [ 1; 2; 3 ]) in
+  let r = Histogram.refine h [ Value.Null; Value.Null ] in
+  Alcotest.(check bool) "identity on all-null observations" true (r == h)
+
+let test_refine_widens_only () =
+  (* observed values span a narrower range than the original statistics:
+     the refined bounds must still cover the originals, so static analysis
+     bounds (R11) derived before the refresh stay sound *)
+  let h = Histogram.build (ints (List.init 100 Fun.id)) in
+  let r = Histogram.refine h (ints [ 40; 41; 42 ]) in
+  Alcotest.(check bool) "min kept" true (Histogram.min_value r = Some (Value.Int 0));
+  Alcotest.(check bool) "max kept" true (Histogram.max_value r = Some (Value.Int 99));
+  (* and out-of-range observations widen outward *)
+  let r2 = Histogram.refine h (ints [ -5; 50; 200 ]) in
+  Alcotest.(check bool) "min widened" true
+    (Histogram.min_value r2 = Some (Value.Int (-5)));
+  Alcotest.(check bool) "max widened" true
+    (Histogram.max_value r2 = Some (Value.Int 200))
+
+let test_refine_idempotent () =
+  let h = Histogram.build (uniform 1000) in
+  let obs = ints (List.init 500 (fun i -> i mod 37)) in
+  let r1 = Histogram.refine ~nbuckets:16 h obs in
+  let r2 = Histogram.refine ~nbuckets:16 r1 obs in
+  Alcotest.(check bool) "refine(refine(h, o), o) = refine(h, o)" true (r1 = r2)
+
+let test_refine_mass_from_observations () =
+  (* the refined histogram describes the observed multiset, not the stale
+     one: total mass comes from the observations *)
+  let h = Histogram.build (uniform 1000) in
+  let r = Histogram.refine h (ints (List.init 200 Fun.id)) in
+  checkf "observed mass" 200. (Histogram.total_rows r)
+
+let test_col_stats_refine_bounds () =
+  let s = Col_stats.of_values (ints [ 0; 50; 99 ]) in
+  let r = Col_stats.refine s (ints [ 10; 20; 200 ]) in
+  Alcotest.(check bool) "min unions stale" true (r.Col_stats.min_v = Some (Value.Int 0));
+  Alcotest.(check bool) "max unions observed" true
+    (r.Col_stats.max_v = Some (Value.Int 200));
+  let id = Col_stats.refine s [] in
+  Alcotest.(check bool) "identity on empty observations" true (id == s)
+
 let test_col_stats_merge () =
   let s1 = Col_stats.of_values (ints [ 1; 2; 3 ]) in
   let s2 = Col_stats.of_values (ints [ 3; 4; 5 ]) in
@@ -175,6 +225,12 @@ let suite =
     t "single-value column" test_single_value_column;
     t "all-null column" test_all_null_column;
     t "min==max buckets" test_min_eq_max_buckets;
+    t "refine: empty observations" test_refine_empty_obs;
+    t "refine: all-null observations" test_refine_all_null_obs;
+    t "refine: widens only" test_refine_widens_only;
+    t "refine: idempotent" test_refine_idempotent;
+    t "refine: observed mass" test_refine_mass_from_observations;
+    t "col stats refine bounds" test_col_stats_refine_bounds;
     QCheck_alcotest.to_alcotest prop_le_monotone;
     QCheck_alcotest.to_alcotest prop_mass_conserved;
     QCheck_alcotest.to_alcotest prop_merge_mass ]
