@@ -1,7 +1,7 @@
 (* Benchmark entry point.
 
    Modes:
-     bench/main.exe                 run all experiments (E1..E21), then the
+     bench/main.exe                 run all experiments (E1..E22), then the
                                     bechamel micro-benchmarks
      bench/main.exe --tables [Ek]   experiments only (optionally just one);
                                     writes BENCH_results.json

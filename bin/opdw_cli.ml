@@ -15,6 +15,10 @@
                 error before/after
      planstore - drive queries through the last-known-good plan store and
                 dump its state (LKG plans, quarantines, fallbacks)
+     topology - serve a skewed statement storm through the elastic driver,
+                run the re-distribution advisor over the harvested workload
+                and (apply) execute grow / re-key moves online, always
+                serving oracle rows
      queries  - list the bundled workload queries
 
    All subcommands operate against the TPC-H shell database; the query may
@@ -176,6 +180,16 @@ let fault_rate_t =
        & info [ "fault-rate" ] ~docv:"P"
          ~doc:"Per-site fault probability per step attempt (chaos mode); node \
                crashes fire at P/8.")
+
+let elastic_t =
+  Arg.(value & flag
+       & info [ "elastic" ]
+         ~doc:"Execute through the elastic topology driver: statements are \
+               served chaos-style (node crashes decommission + replan on the \
+               survivors), every plan is keyed under the current topology \
+               epoch, and the workload is harvested for the re-distribution \
+               advisor (see the $(b,topology) subcommand). Faults fire only \
+               with $(b,--chaos) or $(b,--fault-schedule).")
 
 let fault_schedule_t =
   Arg.(value & opt (some string) None
@@ -356,7 +370,7 @@ let compare_engines_run ~nodes ~sf ~options ~check ~pool text =
   if not (rows_ok && sim_ok) then exit 1
 
 let run nodes sf query sql file seed budget limit jobs no_cache check assert_bounds
-    repeat chaos fault_seed fault_rate fault_schedule feedback feedback_log
+    repeat chaos elastic fault_seed fault_rate fault_schedule feedback feedback_log
     deadline_ms sim_deadline_ms memo_budget max_concurrent queue_limit breaker
     engine compare_engines profile debug =
   let w = setup ~engine ~nodes ~sf () in
@@ -385,12 +399,14 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
   end;
   let chaos = chaos || fault_schedule <> None in
   let feedback = feedback || feedback_log <> None in
-  if feedback && chaos then begin
-    prerr_endline "--feedback and --chaos are mutually exclusive";
+  if feedback && (chaos || elastic) then begin
+    prerr_endline "--feedback and --chaos/--elastic are mutually exclusive";
     exit 1
   end;
   (* the feedback driver and its last outcome, kept for the summary below *)
   let fb_info = ref None in
+  (* the elastic driver, kept for the topology summary line below *)
+  let el_info = ref None in
   let r, res, app =
     if feedback then begin
       let log =
@@ -409,6 +425,27 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
        | None -> ());
       fb_info := Some (fb, !oc);
       ((!oc).Opdw.Feedback.res, (!oc).Opdw.Feedback.rows, app)
+    end
+    else if elastic then begin
+      (* the elastic driver subsumes chaos (crash -> decommission + replan)
+         and additionally keys every plan under the topology epoch and
+         harvests the workload for the re-distribution advisor *)
+      let fault =
+        match fault_schedule with
+        | Some f -> Fault.load_schedule f
+        | None ->
+          Fault.seeded ~seed:fault_seed ~rate:(if chaos then fault_rate else 0.) ()
+      in
+      let el = Topology.Elastic.create ?cache ~options ~fault w.Opdw.Workload.shell app in
+      let once () =
+        Engine.Appliance.reset_account (Topology.Elastic.app el);
+        Topology.Elastic.run ~obs el text
+      in
+      let rr = ref (once ()) in
+      for _ = 2 to max 1 repeat do rr := once () done;
+      el_info := Some el;
+      let r, res = !rr in
+      (r, res, Topology.Elastic.app el)
     end
     else if chaos then begin
       let fault =
@@ -486,6 +523,13 @@ let run nodes sf query sql file seed budget limit jobs no_cache check assert_bou
     | cs ->
       List.iter (fun (k, v) -> Printf.printf "  %-28s %.6g\n" k v) cs
   end;
+  (match !el_info with
+   | Some el ->
+     Printf.printf
+       "elastic: topology epoch %d; %d/%d nodes alive; %d workload record(s) harvested\n"
+       (Topology.Elastic.epoch el) (Topology.Elastic.nodes el) nodes
+       (Opdw.Feedback.Log.length (Topology.Elastic.log el))
+   | None -> ());
   (match !fb_info with
    | Some (fb, oc) ->
      let s = Opdw.Feedback.store fb in
@@ -535,7 +579,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query on a generated TPC-H appliance.")
     Term.(const run $ nodes_t $ sf_t $ query_t $ sql_t $ file_t $ seed_t $ budget_t $ limit
           $ jobs_t $ no_cache_t $ check_t $ assert_bounds_t $ repeat $ chaos_t
-          $ fault_seed_t $ fault_rate_t $ fault_schedule_t $ feedback_t
+          $ elastic_t $ fault_seed_t $ fault_rate_t $ fault_schedule_t $ feedback_t
           $ feedback_log_t $ deadline_ms_t $ sim_deadline_ms_t $ memo_budget_t
           $ max_concurrent_t $ queue_limit_t $ breaker_t $ engine_t
           $ compare_engines_t $ profile_t $ debug_t)
@@ -1126,6 +1170,161 @@ let planstore_cmd =
           $ seed_t $ budget_t $ jobs_t $ runs_t $ inject_regression_t
           $ skew_table_t $ json_t)
 
+(* -- topology -- *)
+
+let topology action nodes sf statements zipf_seed zipf_skew grow max_tables
+    fault_seed fault_rate jobs =
+  let w = setup ~nodes ~sf () in
+  let app = w.Opdw.Workload.app in
+  let plain = options_of ~nodes ~seed:false ~budget:20000 in
+  (* fault-free oracle rows per query id, computed on a separate pristine
+     appliance: every answer served during the storm — including the ones
+     admitted while a grow / re-key move is in flight — must match exactly *)
+  let oracle = Hashtbl.create 16 in
+  let wo = setup ~nodes ~sf () in
+  List.iter
+    (fun q ->
+       let r =
+         Opdw.optimize ~options:plain wo.Opdw.Workload.shell q.Tpch.Queries.sql
+       in
+       Hashtbl.replace oracle q.Tpch.Queries.id
+         (render_rows (Opdw.run wo.Opdw.Workload.app r)))
+    Tpch.Queries.all;
+  Par.with_pool ~jobs:(if jobs <= 0 then Par.default_jobs () else jobs)
+  @@ fun pool ->
+  Engine.Appliance.set_pool app pool;
+  let fault = Fault.seeded ~seed:fault_seed ~rate:fault_rate () in
+  let el =
+    Topology.Elastic.create ~cache:(Opdw.cache ()) ~options:plain ~fault
+      w.Opdw.Workload.shell app
+  in
+  let obs = Obs.create () in
+  (* the storm: Zipf-ranked picks over the bundled workload queries, so a
+     skewed head dominates the harvested log (what the advisor keys on) *)
+  let bundle = Array.of_list Tpch.Queries.all in
+  let storm =
+    Topology.Zipf.storm ~seed:zipf_seed ~s:zipf_skew ~length:(max 1 statements)
+      (Array.length bundle)
+    |> List.map (fun k -> bundle.(k))
+  in
+  let queue = ref storm and served = ref 0 and matched = ref 0 in
+  let serve_one () =
+    match !queue with
+    | [] -> ()
+    | q :: rest ->
+      queue := rest;
+      let _, rows = Topology.Elastic.run ~obs el q.Tpch.Queries.sql in
+      incr served;
+      if render_rows rows = Hashtbl.find oracle q.Tpch.Queries.id then incr matched
+  in
+  let serve n = for _ = 1 to n do serve_one () done in
+  let advice =
+    match action with
+    | `Advise ->
+      serve (List.length !queue);
+      Topology.Elastic.advise ~max_tables el
+    | `Apply ->
+      (* first half of the storm populates the advisor's log; the moves run
+         with the second half served between copy steps (old layout until
+         each flip), and whatever remains drains after *)
+      serve (List.length !queue / 2);
+      if grow > Topology.Elastic.nodes el then
+        Topology.Elastic.grow ~obs ~between:serve_one el ~nodes:grow;
+      let advice = Topology.Elastic.advise ~max_tables el in
+      Topology.Elastic.apply ~obs ~between:serve_one el advice;
+      serve (List.length !queue);
+      advice
+  in
+  let total =
+    List.fold_left (fun a (_, c) -> a + c) 0 advice.Topology.Advisor.a_statements
+  in
+  Printf.printf
+    "advisor: %d execution(s) harvested, %d distinct statement(s); modelled \
+     workload DMS cost %.4g -> %.4g\n"
+    total
+    (List.length advice.Topology.Advisor.a_statements)
+    advice.Topology.Advisor.a_baseline advice.Topology.Advisor.a_proposed;
+  (match advice.Topology.Advisor.a_proposals with
+   | [] -> print_endline "proposals: none (current keys already minimal)"
+   | ps ->
+     List.iter
+       (fun (p : Topology.Advisor.proposal) ->
+          Printf.printf "  re-key %-10s [%s] -> [%s]  (%.4g -> %.4g, -%.1f%%)\n"
+            p.Topology.Advisor.p_table
+            (String.concat "," p.Topology.Advisor.p_from)
+            (String.concat "," p.Topology.Advisor.p_cols)
+            p.Topology.Advisor.p_before p.Topology.Advisor.p_after
+            (100. *. (1. -. (p.Topology.Advisor.p_after /. p.Topology.Advisor.p_before))))
+       ps);
+  Printf.printf
+    "%d/%d statements returned oracle rows (availability %.3f); final topology: \
+     %d nodes, epoch %d\n"
+    !matched !served
+    (float_of_int !matched /. float_of_int (max 1 !served))
+    (Topology.Elastic.nodes el) (Topology.Elastic.epoch el);
+  (match Obs.counters_prefixed obs "topology." with
+   | [] -> ()
+   | cs -> List.iter (fun (k, v) -> Printf.printf "  %-28s %.6g\n" k v) cs);
+  if !matched <> !served then begin
+    prerr_endline "some statement returned non-oracle rows";
+    exit 1
+  end
+
+let topology_cmd =
+  let action_t =
+    Arg.(required
+         & pos 0 (some (enum [ ("advise", `Advise); ("apply", `Apply) ])) None
+         & info [] ~docv:"ACTION"
+           ~doc:"$(b,advise): serve the whole storm, then print the \
+                 re-distribution proposals. $(b,apply): serve half the storm, \
+                 optionally grow online ($(b,--grow)), apply the proposals as \
+                 online re-key moves while still serving, then drain the rest.")
+  in
+  let statements_t =
+    Arg.(value & opt int 48
+         & info [ "statements" ] ~docv:"N"
+           ~doc:"Storm length (Zipf-ranked picks over the bundled workload queries).")
+  in
+  let zipf_seed_t =
+    Arg.(value & opt int 1
+         & info [ "zipf-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the Zipf storm draws (a fixed seed reproduces the \
+                 exact statement sequence at any $(b,--jobs)).")
+  in
+  let zipf_skew_t =
+    Arg.(value & opt float 1.5
+         & info [ "zipf-skew" ] ~docv:"S"
+           ~doc:"Zipf exponent: rank k is picked with weight 1/(k+1)^S.")
+  in
+  let grow_t =
+    Arg.(value & opt int 0
+         & info [ "grow" ] ~docv:"M"
+           ~doc:"(apply) Grow the appliance online to M compute nodes mid-storm \
+                 (ignored unless M exceeds the current node count).")
+  in
+  let max_tables_t =
+    Arg.(value & opt int 2
+         & info [ "max-tables" ] ~docv:"K"
+           ~doc:"Advisor budget: at most K tables re-keyed (greedy, each \
+                 accepted only on a strict modelled-cost win).")
+  in
+  let t_fault_rate_t =
+    Arg.(value & opt float 0.
+         & info [ "fault-rate" ] ~docv:"P"
+           ~doc:"Per-site fault probability per step attempt during the storm \
+                 and inside the move steps (default 0: fault-free).")
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Serve a skewed statement storm through the elastic driver, run the \
+             re-distribution advisor over the harvested workload, and \
+             ($(b,apply)) execute grow / re-key moves online while every \
+             statement keeps returning oracle rows. Exits nonzero if any \
+             served statement's rows differ from the fault-free oracle.")
+    Term.(const topology $ action_t $ nodes_t $ sf_t $ statements_t $ zipf_seed_t
+          $ zipf_skew_t $ grow_t $ max_tables_t $ fault_seed_t $ t_fault_rate_t
+          $ jobs_t)
+
 (* -- queries -- *)
 
 let queries () =
@@ -1144,7 +1343,7 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group (Cmd.info "opdw_cli" ~doc)
            [ explain_cmd; run_cmd; overload_cmd; memo_cmd; check_cmd; analyze_cmd;
-             calibrate_cmd; planstore_cmd; queries_cmd ])
+             calibrate_cmd; planstore_cmd; topology_cmd; queries_cmd ])
     with
     | Governor.Gate.Rejected rj ->
       Printf.eprintf

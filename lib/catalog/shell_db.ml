@@ -52,6 +52,12 @@ let update_col_stats t name col stats =
     t.stats_version <- t.stats_version + 1
   | None -> invalid_arg (Printf.sprintf "Shell_db.update_col_stats: unknown table %s" name)
 
+(** Bump [stats_version] with no content change — marks an atomic catalog
+    flip (e.g. a topology move committing) so version-keyed consumers
+    (plan cache, plan store) observe that the layout changed even though
+    every table object is unchanged. *)
+let touch t = t.stats_version <- t.stats_version + 1
+
 let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
 
 let row_count tbl = Tbl_stats.row_count tbl.stats

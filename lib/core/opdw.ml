@@ -317,7 +317,7 @@ let baseline_stage opts reg shell
     [cache] to skip serial + PDW optimization on repeated queries. *)
 let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache option)
     ?(check = true) ?(live_nodes : int list option) ?(token = Governor.none)
-    ?(pool = Par.sequential) ?(calibration = 0)
+    ?(pool = Par.sequential) ?(calibration = 0) ?(topology = 0)
     (shell : Catalog.Shell_db.t) (sql : string) : result =
   let opts =
     match options with
@@ -469,7 +469,7 @@ let optimize ?(obs = Obs.null) ?(options : options option) ?(cache : cache optio
     | Some c ->
       let fp =
         Obs.with_span obs "plancache" @@ fun () ->
-        Plancache.fingerprint ?live_nodes ~calibration ~shell ~serial:opts.serial
+        Plancache.fingerprint ?live_nodes ~calibration ~topology ~shell ~serial:opts.serial
           ~pdw:opts.pdw ~baseline:opts.baseline ~via_xml:opts.via_xml
           ~seed_collocated:opts.seed_collocated ~governor:opts.governor
           normalized

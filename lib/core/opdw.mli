@@ -153,11 +153,19 @@ val cache : ?capacity:int -> unit -> cache
     [calibration] (default 0) is the feedback calibration epoch carried in
     fingerprint v5; the {!Feedback} driver bumps it on every
     {!Feedback.calibrate} so plans from different calibration states never
-    alias in the cache or the plan store. *)
+    alias in the cache or the plan store.
+
+    [topology] (default 0) is the topology epoch carried in fingerprint
+    v6: an online topology move (grow / re-key — see
+    {!Engine.Appliance.recommission} / [redistribute]) rebuilds the shell
+    catalog, whose fresh [stats_version] could otherwise alias a pre-move
+    fingerprint at an equal node count. Pass the appliance's replan
+    [epoch] (monotone across decommissions and phased moves); the
+    {!Topology.Elastic} driver does. *)
 val optimize :
   ?obs:Obs.t -> ?options:options -> ?cache:cache -> ?check:bool ->
   ?live_nodes:int list -> ?token:Governor.token -> ?pool:Par.t ->
-  ?calibration:int ->
+  ?calibration:int -> ?topology:int ->
   Catalog.Shell_db.t -> string -> result
 
 (** The chosen distributed plan (rooted at the final Return operation). *)

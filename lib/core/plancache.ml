@@ -232,8 +232,16 @@ let hint (t, h) =
     epoch re-keys every statement after a calibration pass even when a
     statement's plan happens to be insensitive to the refreshed inputs —
     the plan store compares observed costs per fingerprint, so plans from
-    different calibration states must never alias. *)
+    different calibration states must never alias. v6 adds the [topology]
+    epoch (default 0): an online topology move (grow / re-key) rebuilds
+    the shell catalog, and the rebuilt shell's [stats_version] restarts
+    near the table count — without the epoch, a plan compiled against the
+    pre-move layout could alias a post-move fingerprint at an equal node
+    count (a re-key changes no knob the key otherwise carries). The
+    appliance's replan epoch is monotone across decommissions and phased
+    moves, so it is the natural value to pass. *)
 let fingerprint ?live_nodes ?(governor = Governor.no_limits) ?(calibration = 0)
+    ?(topology = 0)
     ~(shell : Catalog.Shell_db.t)
     ~(serial : Serialopt.Optimizer.options) ~(pdw : Pdwopt.Enumerate.opts)
     ~(baseline : Baseline.opts) ~(via_xml : bool) ~(seed_collocated : bool)
@@ -246,11 +254,11 @@ let fingerprint ?live_nodes ?(governor = Governor.no_limits) ?(calibration = 0)
   let fopt = function None -> "-" | Some f -> Printf.sprintf "%h" f in
   let iopt = function None -> "-" | Some i -> string_of_int i in
   String.concat "|"
-    [ Printf.sprintf "v5;nodes=%d;live=%s;stats=%d;cal=%d"
+    [ Printf.sprintf "v6;nodes=%d;live=%s;stats=%d;cal=%d;topo=%d"
         (Catalog.Shell_db.node_count shell)
         (String.concat "," (List.map string_of_int live))
         (Catalog.Shell_db.stats_version shell)
-        calibration;
+        calibration topology;
       Printf.sprintf "serial=%d,%b,%b" serial.Serialopt.Optimizer.task_budget
         serial.Serialopt.Optimizer.enable_merge_join
         serial.Serialopt.Optimizer.enable_stream_agg;

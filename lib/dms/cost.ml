@@ -88,6 +88,26 @@ let cost ?(lambdas = default_lambdas) (k : Op.kind) ~nodes ~rows ~width : breakd
     c_total = Float.max c_source c_target;
     bytes_moved = b_net *. float_of_int (max 1 nodes) }
 
+(** Per-byte and per-row rates of a physical re-partition pipeline
+    (reader -> network -> writer). The engine's topology changes (crash
+    shrink, elastic grow, re-key) all price their table copies through
+    {!repartition_seconds} so the three paths charge identical numbers for
+    identical volumes. *)
+type move_rates = {
+  r_reader_byte : float; r_reader_row : float;
+  r_network_byte : float; r_network_row : float;
+  r_writer_byte : float; r_writer_row : float;
+}
+
+(** Seconds to re-partition [bytes]/[rows] through a full
+    reader+network+writer pipeline at the given rates. The components are
+    summed, not maxed: a re-partition streams every byte through all three
+    stages back to back (unlike a steady-state DMS operator where they
+    overlap). *)
+let repartition_seconds (r : move_rates) ~(bytes : float) ~(rows : float) =
+  (bytes *. (r.r_reader_byte +. r.r_network_byte +. r.r_writer_byte))
+  +. (rows *. (r.r_reader_row +. r.r_network_row +. r.r_writer_row))
+
 let pp_breakdown ppf b =
   Format.fprintf ppf
     "reader=%.3gs net=%.3gs writer=%.3gs blkcpy=%.3gs -> source=%.3gs target=%.3gs total=%.3gs"

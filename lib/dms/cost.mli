@@ -39,3 +39,18 @@ val byte_volumes :
 val cost : ?lambdas:lambdas -> Op.kind -> nodes:int -> rows:float -> width:float -> breakdown
 
 val pp_breakdown : Format.formatter -> breakdown -> unit
+
+(** Per-byte and per-row rates of a physical re-partition pipeline
+    (reader -> network -> writer), used to price topology changes (crash
+    shrink, elastic grow, re-key) identically across all three paths. *)
+type move_rates = {
+  r_reader_byte : float; r_reader_row : float;
+  r_network_byte : float; r_network_row : float;
+  r_writer_byte : float; r_writer_row : float;
+}
+
+(** Seconds to re-partition [bytes]/[rows] through a full
+    reader+network+writer pipeline at the given rates (components summed:
+    a re-partition streams every byte through all three stages back to
+    back, unlike an overlapped steady-state DMS operator). *)
+val repartition_seconds : move_rates -> bytes:float -> rows:float -> float

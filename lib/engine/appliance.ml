@@ -853,20 +853,39 @@ and exec_node (t : t) (p : Pdwopt.Pplan.t) : dstream =
     The replan [epoch] is bumped so fault draws restart, and [live] drops
     the dead node's original id — callers key plan-cache fingerprints on
     it so stale-topology plans cannot be served. *)
+(* catalog tables sorted by name, so shell reconstruction (and its
+   stats_version assignment) is deterministic for shrink, grow and re-key *)
+let sorted_tables (shell : Catalog.Shell_db.t) =
+  List.sort
+    (fun (a : Catalog.Shell_db.table) (b : Catalog.Shell_db.table) ->
+       compare a.Catalog.Shell_db.schema.Catalog.Schema.name
+         b.Catalog.Shell_db.schema.Catalog.Schema.name)
+    (Catalog.Shell_db.tables shell)
+
+(* the reader+network+writer pipeline rates of this appliance's hardware,
+   in the shape the shared {!Dms.Cost.repartition_seconds} helper prices
+   shrink, grow, and re-key moves with *)
+let move_rates (hw : hw) : Dms.Cost.move_rates =
+  { Dms.Cost.r_reader_byte = hw.reader_byte; r_reader_row = hw.reader_row;
+    r_network_byte = hw.network_byte; r_network_row = hw.network_row;
+    r_writer_byte = hw.writer_byte; r_writer_row = hw.writer_row }
+
 let decommission (t : t) ~(node : int) : t =
   if t.nodes <= 1 then
-    invalid_arg "Appliance.decommission: cannot lose the last compute node";
+    (* structured, not [invalid_arg]: losing the last compute node is a
+       fault-plane outcome (the appliance cannot serve), and storm drivers
+       map {!Fault.Exhausted} to a tally bucket instead of crashing *)
+    raise
+      (Fault.Exhausted
+         { failure =
+             { Fault.site = Fault.Node_crash; epoch = t.epoch; step = -1;
+               node = 0 };
+           attempts = 1 });
   if node < 0 || node >= t.nodes then
     invalid_arg "Appliance.decommission: no such node";
   (* same tables, (N-1)-node topology; iterate sorted by name so shell
      construction (and stats_version assignment) is deterministic *)
-  let tables =
-    List.sort
-      (fun (a : Catalog.Shell_db.table) (b : Catalog.Shell_db.table) ->
-         compare a.Catalog.Shell_db.schema.Catalog.Schema.name
-           b.Catalog.Shell_db.schema.Catalog.Schema.name)
-      (Catalog.Shell_db.tables t.shell)
-  in
+  let tables = sorted_tables t.shell in
   let shell' = Catalog.Shell_db.create ~node_count:(t.nodes - 1) in
   List.iter
     (fun (tbl : Catalog.Shell_db.table) ->
@@ -908,10 +927,9 @@ let decommission (t : t) ~(node : int) : t =
            load_rset t' name all
          end)
     tables;
-  let hw = t.hw in
   let recovery =
-    (!moved_bytes *. (hw.reader_byte +. hw.network_byte +. hw.writer_byte))
-    +. (!moved_rows *. (hw.reader_row +. hw.network_row +. hw.writer_row))
+    Dms.Cost.repartition_seconds (move_rates t.hw) ~bytes:!moved_bytes
+      ~rows:!moved_rows
   in
   assign_account ~dst:t'.account t.account;
   t'.account.sim_time <- t'.account.sim_time +. recovery;
@@ -924,6 +942,239 @@ let decommission (t : t) ~(node : int) : t =
     Obs.addf t.obs "fault.recovery_seconds" recovery
   end;
   t'
+
+(* -- elastic topology: phased grow / re-key moves (DESIGN.md §14) -- *)
+
+(** An in-flight phased topology move: the new layout is copy-built into a
+    shadow appliance ([m_target]) one table per priced, injectable step
+    while [m_source] keeps serving statements against the old layout.
+    {!flip_move} commits the new topology atomically; {!abort_move}
+    discards the shadow and leaves the source (catalog and storage)
+    bit-identical to its pre-move state — there is never a torn layout. *)
+type move = {
+  m_source : t;
+  m_target : t;
+  mutable m_pending : string list;
+      (** tables still to copy, in deterministic (sorted-name) order *)
+  mutable m_bytes : float;    (** bytes re-partitioned so far *)
+  mutable m_rows : float;
+  mutable m_seconds : float;
+      (** simulated copy cost accrued, charged to the clock at the flip *)
+}
+
+(** [begin_move t ~node_count ~live ~dist_of] opens a phased move to a
+    [node_count]-node topology with distribution layout [dist_of] (given
+    each current table, return its target distribution). Builds the shadow
+    shell and appliance at [t]'s next replan epoch; tables whose physical
+    layout is unchanged transfer for free immediately (replicated copies
+    are mirrored and identically keyed hash shards at an equal node count
+    are shared by reference — payloads are immutable); every other table
+    becomes a pending priced copy step. [t] itself is not mutated. *)
+let begin_move (t : t) ~(node_count : int) ~(live : int list)
+    ~(dist_of : Catalog.Shell_db.table -> Catalog.Distribution.t) : move =
+  if node_count < 1 then
+    invalid_arg "Appliance.begin_move: need at least one compute node";
+  if List.length live <> node_count then
+    invalid_arg "Appliance.begin_move: live-node list does not match node_count";
+  let tables = sorted_tables t.shell in
+  let shell' = Catalog.Shell_db.create ~node_count in
+  List.iter
+    (fun (tbl : Catalog.Shell_db.table) ->
+       ignore
+         (Catalog.Shell_db.add_table shell' ~stats:tbl.Catalog.Shell_db.stats
+            tbl.Catalog.Shell_db.schema (dist_of tbl)))
+    tables;
+  let t' = create ~hw:t.hw ~obs:t.obs ~pool:t.pool ~check:t.check ~engine:t.engine shell' in
+  t'.fault <- t.fault;
+  t'.token <- t.token;
+  t'.epoch <- t.epoch + 1;
+  t'.live <- live;
+  let pending =
+    List.filter_map
+      (fun (tbl : Catalog.Shell_db.table) ->
+         let name = tbl.Catalog.Shell_db.schema.Catalog.Schema.name in
+         let key = String.lowercase_ascii name in
+         match tbl.Catalog.Shell_db.dist, dist_of tbl with
+         | Catalog.Distribution.Replicated, Catalog.Distribution.Replicated ->
+           (match Hashtbl.find_opt t.storage.(0) key with
+            | Some rs -> load_rset t' name rs
+            | None -> ());
+           None
+         | Catalog.Distribution.Hash_partitioned c0,
+           Catalog.Distribution.Hash_partitioned c1
+           when node_count = t.nodes && c0 = c1 ->
+           for i = 0 to t.nodes - 1 do
+             match Hashtbl.find_opt t.storage.(i) key with
+             | Some rs -> Hashtbl.replace t'.storage.(i) key rs
+             | None -> ()
+           done;
+           None
+         | _ -> Some name)
+      tables
+  in
+  { m_source = t; m_target = t'; m_pending = pending;
+    m_bytes = 0.; m_rows = 0.; m_seconds = 0. }
+
+(** Copy-build the next pending table into the move's shadow appliance as
+    one injectable step under the source's recovery budget. All the fault
+    plane's sites can fire here: a node crash escalates to the caller
+    ({!Fault.Injected}, compose with {!decommission} and restart the
+    move), a DMS-transfer or temp-write failure drops the half-built
+    partitions and retries, stragglers inflate the step's copy time, and
+    an exhausted budget raises {!Fault.Exhausted}. The copy is priced with
+    the shared {!Dms.Cost.repartition_seconds} pipeline rates and accrues
+    into the move (the source clock is only charged at the flip); a failed
+    attempt never double-charges. *)
+let copy_step (m : move) : unit =
+  match m.m_pending with
+  | [] -> ()
+  | name :: rest ->
+    let ts = m.m_source and tt = m.m_target in
+    let key = String.lowercase_ascii name in
+    let drop_half_built () =
+      Array.iter (fun store -> Hashtbl.remove store key) tt.storage
+    in
+    with_recovery ts ~on_retry:drop_half_built (fun () ->
+        (* node-crash decisions first, lowest index wins (mirrors
+           [run_serial]'s pre-fan-out draw order) *)
+        if fault_active ts then begin
+          let rec first_crash node =
+            if node >= ts.nodes then None
+            else if Fault.fires ts.fault ~site:Fault.Node_crash ~epoch:ts.epoch
+                      ~step:ts.cur_step ~node ~attempt:ts.cur_attempt
+            then Some node
+            else first_crash (node + 1)
+          in
+          match first_crash 0 with
+          | Some node -> fail_at ts Fault.Node_crash node
+          | None -> ()
+        end;
+        let tbl = Catalog.Shell_db.find_exn ts.shell name in
+        let payload =
+          match tbl.Catalog.Shell_db.dist with
+          | Catalog.Distribution.Replicated -> Hashtbl.find_opt ts.storage.(0) key
+          | Catalog.Distribution.Hash_partitioned _ ->
+            let shards =
+              List.filter_map (fun i -> Hashtbl.find_opt ts.storage.(i) key)
+                (List.init ts.nodes Fun.id)
+            in
+            if List.exists (fun s -> Rset.count s > 0) shards
+               || Hashtbl.mem ts.storage.(0) key
+            then
+              let layout =
+                match shards with s :: _ -> Rset.layout s | [] -> []
+              in
+              Some (Rset.concat ~layout shards)
+            else None
+        in
+        match payload with
+        | None -> ()  (* table was never loaded; nothing to copy *)
+        | Some all ->
+          inject_point ts Fault.Dms_transfer;
+          let b, r = Rset.vol all in
+          let seconds =
+            Dms.Cost.repartition_seconds (move_rates ts.hw) ~bytes:b ~rows:r
+          in
+          (* stragglers slow the copy pipeline down: the worst per-node
+             factor inflates this step's accrued seconds *)
+          let seconds =
+            if not (fault_active ts) then seconds
+            else begin
+              let factor = ref 1. in
+              for node = 0 to ts.nodes - 1 do
+                match
+                  Fault.straggle ts.fault ~epoch:ts.epoch ~step:ts.cur_step
+                    ~node ~attempt:ts.cur_attempt
+                with
+                | Some f when f > 0. ->
+                  note_injection ts Fault.Straggler;
+                  if f > !factor then factor := f
+                | _ -> ()
+              done;
+              seconds *. !factor
+            end
+          in
+          load_rset tt name all;
+          inject_point ts Fault.Temp_write;
+          (* only a fully successful attempt accrues volume and cost *)
+          m.m_bytes <- m.m_bytes +. b;
+          m.m_rows <- m.m_rows +. r;
+          m.m_seconds <- m.m_seconds +. seconds);
+    m.m_pending <- rest
+
+(** Atomically commit a fully copied move: one injectable control-node
+    step (the catalog flip), a [stats_version] bump on the new shell, the
+    source's account carried into the shadow appliance plus the move's
+    accrued copy cost, and the new topology returned. Statements admitted
+    before the flip executed against the old layout on [m_source]; the
+    caller switches new statements to the returned appliance (whose bumped
+    replan epoch re-keys plan-cache fingerprints — v6 carries it). *)
+let flip_move (m : move) : t =
+  if m.m_pending <> [] then
+    invalid_arg "Appliance.flip_move: pending table copies remain";
+  let ts = m.m_source and tt = m.m_target in
+  (* the flip itself runs on the control node and is injectable *)
+  with_recovery ts (fun () -> inject_point ts Fault.Control_transient);
+  Catalog.Shell_db.touch tt.shell;
+  assign_account ~dst:tt.account ts.account;
+  tt.account.sim_time <- tt.account.sim_time +. m.m_seconds;
+  tt.account.dms_time <- tt.account.dms_time +. m.m_seconds;
+  tt.account.bytes_moved <- tt.account.bytes_moved +. m.m_bytes;
+  tt.account.rows_moved <- tt.account.rows_moved +. m.m_rows;
+  if Obs.enabled ts.obs then begin
+    Obs.add ts.obs "topology.moves" 1;
+    Obs.addf ts.obs "topology.move_seconds" m.m_seconds
+  end;
+  tt
+
+(** Abandon an in-flight move: the shadow appliance's half-built
+    partitions are dropped and the source is left bit-identical to its
+    pre-move state (its catalog was never mutated — [stats_version],
+    storage, and epoch are untouched). *)
+let abort_move (m : move) : unit =
+  Array.iter Hashtbl.reset m.m_target.storage;
+  m.m_pending <- []
+
+(** [recommission t ~nodes] grows the appliance to [nodes] compute nodes
+    (the inverse of {!decommission}) as one complete phased move: every
+    hash-distributed table is re-partitioned onto the wider topology at
+    {!Dms.Cost.repartition_seconds} rates, then the catalog flips. New
+    node ids continue after the highest original id ever used, so a
+    re-grown appliance never aliases a decommissioned node's id in [live]
+    (plan-cache fingerprints distinguish the topologies). *)
+let recommission (t : t) ~(nodes : int) : t =
+  if nodes <= t.nodes then
+    invalid_arg "Appliance.recommission: node count must grow";
+  let next = 1 + List.fold_left max (-1) t.live in
+  let live = t.live @ List.init (nodes - t.nodes) (fun i -> next + i) in
+  let m = begin_move t ~node_count:nodes ~live ~dist_of:(fun tbl -> tbl.Catalog.Shell_db.dist) in
+  (try while m.m_pending <> [] do copy_step m done
+   with e -> abort_move m; raise e);
+  flip_move m
+
+(** [redistribute t ~table ~cols] changes [table]'s distribution key to
+    hash-partitioning on [cols] as one complete phased move (only that
+    table is re-partitioned; everything else transfers for free). *)
+let redistribute (t : t) ~(table : string) ~(cols : string list) : t =
+  let tbl = Catalog.Shell_db.find_exn t.shell table in
+  List.iter
+    (fun c ->
+       if Catalog.Schema.find_col tbl.Catalog.Shell_db.schema c = None then
+         invalid_arg
+           (Printf.sprintf "Appliance.redistribute: no column %s in %s" c table))
+    cols;
+  if cols = [] then invalid_arg "Appliance.redistribute: empty distribution key";
+  let key = String.lowercase_ascii table in
+  let m =
+    begin_move t ~node_count:t.nodes ~live:t.live
+      ~dist_of:(fun (x : Catalog.Shell_db.table) ->
+          if String.lowercase_ascii x.Catalog.Shell_db.schema.Catalog.Schema.name = key
+          then Catalog.Distribution.Hash_partitioned cols
+          else x.Catalog.Shell_db.dist)
+  in
+  (try while m.m_pending <> [] do copy_step m done
+   with e -> abort_move m; raise e);
+  flip_move m
 
 (** Single-node oracle: run a serial plan over the full (unpartitioned)
     tables. *)

@@ -194,13 +194,78 @@ val run_serial : t -> Memo.Physop.t -> dstream list -> dstream
     {!Check.Invalid} instead of executing. *)
 val run_pplan : t -> Pdwopt.Pplan.t -> Local.rset
 
+(** The reader+network+writer pipeline rates of an appliance's hardware,
+    in the shape {!Dms.Cost.repartition_seconds} prices topology moves
+    with (shrink, grow and re-key all share it). *)
+val move_rates : hw -> Dms.Cost.move_rates
+
 (** [decommission t ~node] builds a fresh [(nodes - 1)]-node appliance
     after compute node [node] (current index) died: same schemas and
     statistics, every table re-partitioned mod the surviving count, the
     account carried over plus a recovery charge of re-partitioning every
     hash-distributed table at DMS rates. The replan epoch is bumped so
-    fault draws restart, and [live] drops the dead node's original id. *)
+    fault draws restart, and [live] drops the dead node's original id.
+    Decommissioning the last compute node raises {!Fault.Exhausted} (the
+    appliance cannot serve — a fault-plane outcome, not a caller bug);
+    an out-of-range [node] raises [Invalid_argument]. *)
 val decommission : t -> node:int -> t
+
+(** An in-flight phased topology move (DESIGN.md §14): the new layout is
+    copy-built into a shadow appliance one table per priced, injectable
+    step while [m_source] keeps serving statements against the old layout;
+    {!flip_move} commits atomically, {!abort_move} leaves the source
+    bit-identical to its pre-move state. *)
+type move = {
+  m_source : t;
+  m_target : t;
+  mutable m_pending : string list;
+      (** tables still to copy, in deterministic (sorted-name) order *)
+  mutable m_bytes : float;    (** bytes re-partitioned so far *)
+  mutable m_rows : float;
+  mutable m_seconds : float;
+      (** simulated copy cost accrued, charged to the clock at the flip *)
+}
+
+(** Open a phased move to a [node_count]-node topology with distribution
+    layout [dist_of] (given each current table, return its target
+    distribution). Unchanged-layout tables transfer for free immediately;
+    every other table becomes a pending priced copy step. The source
+    appliance is not mutated. *)
+val begin_move :
+  t -> node_count:int -> live:int list ->
+  dist_of:(Catalog.Shell_db.table -> Catalog.Distribution.t) -> move
+
+(** Copy-build the next pending table into the shadow appliance as one
+    injectable step under the source's recovery budget: node crashes
+    escalate ({!Fault.Injected} — compose with {!decommission} and restart
+    the move), transfer/temp-write failures drop the half-built partitions
+    and retry, stragglers inflate the step's copy time, an exhausted
+    budget raises {!Fault.Exhausted}. Priced via
+    {!Dms.Cost.repartition_seconds}; a failed attempt never
+    double-charges. *)
+val copy_step : move -> unit
+
+(** Atomically commit a fully copied move: one injectable control-node
+    step, a [stats_version] bump on the new shell, the source account
+    carried over plus the move's accrued copy cost. Returns the new
+    appliance (bumped replan epoch — fingerprint v6 carries it). Raises
+    [Invalid_argument] if pending copies remain. *)
+val flip_move : move -> t
+
+(** Abandon an in-flight move: half-built partitions are dropped; the
+    source catalog, storage and epoch are untouched. *)
+val abort_move : move -> unit
+
+(** [recommission t ~nodes] grows the appliance to [nodes] compute nodes
+    (the inverse of {!decommission}) as one complete phased move. New node
+    ids continue after the highest id ever used, so a re-grown appliance
+    never aliases a decommissioned node's id in [live]. *)
+val recommission : t -> nodes:int -> t
+
+(** [redistribute t ~table ~cols] changes [table]'s distribution key to
+    hash-partitioning on [cols] as one complete phased move (only that
+    table is re-partitioned). *)
+val redistribute : t -> table:string -> cols:string list -> t
 
 (** Single-node oracle: run a serial plan over the full (unpartitioned)
     tables. *)

@@ -1,0 +1,456 @@
+(** Elastic topology (DESIGN.md §14): workload-driven re-distribution and
+    online grow/shrink, fault-survivable and always serving.
+
+    Three pieces:
+
+    - {!Zipf}: a deterministic skewed workload source (pure splitmix64
+      draws, like the fault plane's) for storm drivers;
+    - {!Advisor}: replays the harvested workload ({!Feedback.Log}) against
+      candidate distribution-key assignments and proposes the set that
+      minimizes the occurrence-weighted modelled DMS cost under the λ
+      model;
+    - {!Elastic}: the statement driver that serves queries while topology
+      moves ({!Engine.Appliance.begin_move} phases) are in flight —
+      statements admitted mid-move execute against the old layout until
+      the atomic flip, node crashes compose with decommission + move
+      restart, and every compiled plan carries the topology epoch
+      (plan-cache fingerprint v6). *)
+
+(* -- deterministic skewed workload source -- *)
+
+module Zipf = struct
+  (* splitmix64 finalizer, the same construction as the fault plane's
+     (which does not export its hash): every pick is a pure function of
+     (seed, index), so a storm sequence is identical at any [--jobs] *)
+  let sm64 z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (** Uniform float in [0, 1) for storm position [i]. *)
+  let draw ~seed ~i =
+    let h =
+      sm64 (Int64.add (Int64.mul (sm64 (Int64.of_int seed)) 0x9e3779b97f4a7c15L)
+              (Int64.of_int i))
+    in
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+  (** Zipf-distributed rank in [0, n): rank [k] has weight [1/(k+1)^s].
+      Smaller ranks are the workload's head. *)
+  let pick ~seed ~i ~n ~s =
+    let n = max 1 n in
+    let total = ref 0. in
+    let w = Array.init n (fun k -> 1. /. (float_of_int (k + 1) ** s)) in
+    Array.iter (fun x -> total := !total +. x) w;
+    let u = draw ~seed ~i *. !total in
+    let acc = ref 0. and chosen = ref (n - 1) in
+    (try
+       Array.iteri
+         (fun k x ->
+            acc := !acc +. x;
+            if u < !acc then begin chosen := k; raise Exit end)
+         w
+     with Exit -> ());
+    !chosen
+
+  (** A storm of [length] Zipf-ranked indices over [n] alternatives
+      (default skew [s = 1.5]). *)
+  let storm ~seed ?(s = 1.5) ~length n = List.init length (fun i -> pick ~seed ~i ~n ~s)
+end
+
+(* -- the re-distribution advisor -- *)
+
+module Advisor = struct
+  (** One accepted key change. [p_before]/[p_after] are the cumulative
+      occurrence-weighted modelled DMS costs of the whole replayed
+      workload immediately before and after accepting this proposal, so
+      [p_before -. p_after] is this change's marginal win. *)
+  type proposal = {
+    p_table : string;
+    p_from : string list;   (** current hash-distribution key *)
+    p_cols : string list;   (** proposed hash-distribution key *)
+    p_before : float;
+    p_after : float;
+  }
+
+  type advice = {
+    a_statements : (string * int) list;
+        (** distinct replayed statements with occurrence counts *)
+    a_baseline : float;  (** weighted modelled DMS cost under current keys *)
+    a_proposed : float;  (** same cost under every accepted proposal *)
+    a_proposals : proposal list;  (** in acceptance (best-first) order *)
+  }
+
+  (* distinct statements with occurrence counts, in first-seen order (one
+     log record per execution, so counts are the observed frequencies) *)
+  let statements (log : Feedback.Log.t) =
+    let counts = Hashtbl.create 16 and order = ref [] in
+    List.iter
+      (fun (r : Feedback.Log.record) ->
+         let k = r.Feedback.Log.r_statement in
+         match Hashtbl.find_opt counts k with
+         | Some n -> Hashtbl.replace counts k (n + 1)
+         | None ->
+           Hashtbl.replace counts k 1;
+           order := k :: !order)
+      (Feedback.Log.records log);
+    List.rev_map (fun k -> (k, Hashtbl.find counts k)) !order
+
+  (* candidate distribution keys harvested from the log: a column is a
+     candidate for its table when a join predicate constrained it (the
+     operator's observation spans >= 2 tables). Returns hash-partitioned
+     tables ranked by total join weight, each with its candidate columns
+     ranked by weight (ties broken by name, for determinism). *)
+  let candidates (shell : Catalog.Shell_db.t) (log : Feedback.Log.t) =
+    let weight = Hashtbl.create 32 in
+    let bump k =
+      Hashtbl.replace weight k (1 + Option.value (Hashtbl.find_opt weight k) ~default:0)
+    in
+    List.iter
+      (fun (r : Feedback.Log.record) ->
+         List.iter
+           (fun (o : Feedback.Log.op_obs) ->
+              let tabs =
+                List.sort_uniq compare (List.map fst o.Feedback.Log.o_cols)
+              in
+              if List.length tabs >= 2 then
+                List.iter bump o.Feedback.Log.o_cols)
+           r.Feedback.Log.r_ops)
+      (Feedback.Log.records log);
+    let per_table = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (tab, col) w ->
+         match Catalog.Shell_db.find shell tab with
+         | Some { Catalog.Shell_db.dist = Catalog.Distribution.Hash_partitioned _; _ } ->
+           Hashtbl.replace per_table tab
+             ((col, w) :: Option.value (Hashtbl.find_opt per_table tab) ~default:[])
+         | _ -> ())  (* replicated (or unknown) tables are never re-keyed *)
+      weight;
+    Hashtbl.fold
+      (fun tab cols acc ->
+         let cols =
+           List.sort (fun (c1, w1) (c2, w2) -> compare (-w1, c1) (-w2, c2)) cols
+         in
+         let total = List.fold_left (fun a (_, w) -> a + w) 0 cols in
+         (tab, total, List.map fst cols) :: acc)
+      per_table []
+    |> List.sort (fun (t1, w1, _) (t2, w2, _) -> compare (-w1, t1) (-w2, t2))
+
+  (* a hypothetical shell: same schemas/statistics, distribution keys of
+     the named tables overridden *)
+  let hypothetical (shell : Catalog.Shell_db.t) (overrides : (string * string list) list) =
+    let shell' =
+      Catalog.Shell_db.create ~node_count:(Catalog.Shell_db.node_count shell)
+    in
+    List.iter
+      (fun (tbl : Catalog.Shell_db.table) ->
+         let name =
+           String.lowercase_ascii tbl.Catalog.Shell_db.schema.Catalog.Schema.name
+         in
+         let dist =
+           match List.assoc_opt name overrides with
+           | Some cols -> Catalog.Distribution.Hash_partitioned cols
+           | None -> tbl.Catalog.Shell_db.dist
+         in
+         ignore
+           (Catalog.Shell_db.add_table shell' ~stats:tbl.Catalog.Shell_db.stats
+              tbl.Catalog.Shell_db.schema dist))
+      (List.sort
+         (fun (a : Catalog.Shell_db.table) (b : Catalog.Shell_db.table) ->
+            compare a.Catalog.Shell_db.schema.Catalog.Schema.name
+              b.Catalog.Shell_db.schema.Catalog.Schema.name)
+         (Catalog.Shell_db.tables shell));
+    shell'
+
+  (** [advise shell log] replays the log's distinct statements (weighted
+      by observed frequency) against candidate distribution-key
+      assignments — compiling each statement with the full pipeline and
+      summing the chosen plans' modelled DMS cost under the λ model — and
+      greedily accepts up to [max_tables] (default 2) single-table key
+      changes, each only if it {e strictly} lowers the cumulative cost.
+      Pure replay: nothing is executed and [shell] is not mutated.
+      [options] should be the driver's current options (node count, λs);
+      the XML interchange is forced off (a cost replay does not need
+      it). *)
+  let advise ?(max_tables = 2) ?options (shell : Catalog.Shell_db.t)
+      (log : Feedback.Log.t) : advice =
+    let options =
+      let o =
+        match options with
+        | Some o -> o
+        | None ->
+          Opdw.default_options ~node_count:(Catalog.Shell_db.node_count shell)
+      in
+      { o with Opdw.via_xml = false }
+    in
+    let stmts = statements log in
+    let cost_with overrides =
+      let shell' = hypothetical shell overrides in
+      List.fold_left
+        (fun acc (sql, count) ->
+           let r = Opdw.optimize ~options shell' sql in
+           acc +. (float_of_int count *. (Opdw.plan r).Pdwopt.Pplan.dms_cost))
+        0. stmts
+    in
+    let baseline = cost_with [] in
+    let accepted = ref [] and proposals = ref [] and current = ref baseline in
+    List.iter
+      (fun (tab, _w, cols) ->
+         if List.length !accepted < max_tables then begin
+           let cur_key =
+             match Catalog.Shell_db.find shell tab with
+             | Some { Catalog.Shell_db.dist = Catalog.Distribution.Hash_partitioned k; _ } -> k
+             | _ -> []
+           in
+           let best =
+             List.fold_left
+               (fun best col ->
+                  if [ col ] = cur_key then best
+                  else begin
+                    let cost = cost_with (!accepted @ [ (tab, [ col ]) ]) in
+                    match best with
+                    | Some (_, c) when c <= cost -> best
+                    | _ -> Some (col, cost)
+                  end)
+               None cols
+           in
+           match best with
+           | Some (col, cost) when cost < !current ->
+             accepted := !accepted @ [ (tab, [ col ]) ];
+             proposals :=
+               { p_table = tab; p_from = cur_key; p_cols = [ col ];
+                 p_before = !current; p_after = cost }
+               :: !proposals;
+             current := cost
+           | _ -> ()
+         end)
+      (candidates shell log);
+    { a_statements = stmts; a_baseline = baseline; a_proposed = !current;
+      a_proposals = List.rev !proposals }
+end
+
+(* -- the elastic statement driver -- *)
+
+module Elastic = struct
+  (** Serves statements chaos-style (node crashes decommission + replan)
+      while harvesting the workload into a {!Feedback.Log} for the
+      advisor, and executes topology changes as phased moves that keep
+      serving: [between] callbacks run admitted statements against the old
+      layout between copy steps, a node crash mid-move aborts the
+      half-built target (the source stays bit-identical), composes with
+      decommission, and restarts the move on the survivors. Every compiled
+      plan carries the appliance's replan epoch as the plan-cache
+      fingerprint's topology epoch (v6). *)
+
+  type t = {
+    mutable shell : Catalog.Shell_db.t;
+    mutable app : Engine.Appliance.t;
+    mutable options : Opdw.options;
+    cache : Opdw.cache option;
+    fault : Fault.plan;
+    max_replans : int;
+    log : Feedback.Log.t;
+  }
+
+  let create ?cache ?(max_replans = 8) ?options ?log ~(fault : Fault.plan)
+      (shell : Catalog.Shell_db.t) (app : Engine.Appliance.t) : t =
+    let options =
+      match options with
+      | Some o -> o
+      | None -> Opdw.default_options ~node_count:(Catalog.Shell_db.node_count shell)
+    in
+    { shell; app; options; cache; fault; max_replans;
+      log = (match log with Some l -> l | None -> Feedback.Log.create ()) }
+
+  let app t = t.app
+  let shell t = t.shell
+  let nodes t = t.app.Engine.Appliance.nodes
+  let log t = t.log
+  let options t = t.options
+
+  (** The topology epoch every compiled plan is keyed under. *)
+  let epoch t = t.app.Engine.Appliance.epoch
+
+  (* switch the driver to a replacement appliance (decommission result or
+     a committed move's target) *)
+  let install (t : t) (app' : Engine.Appliance.t) =
+    t.app <- app';
+    t.shell <- app'.Engine.Appliance.shell;
+    let n = app'.Engine.Appliance.nodes in
+    t.options <-
+      { t.options with
+        Opdw.pdw = { t.options.Opdw.pdw with Pdwopt.Enumerate.nodes = n };
+        baseline = { t.options.Opdw.baseline with Baseline.nodes = n } }
+
+  (* registry column ids -> catalog (table, column) names; derived columns
+     have no catalog object and are dropped *)
+  let cols_of_ids (reg : Algebra.Registry.t) ids =
+    List.filter_map
+      (fun id ->
+         match (Algebra.Registry.info reg id).Algebra.Registry.source with
+         | Algebra.Registry.Base { table; column; _ } ->
+           Some (String.lowercase_ascii table, String.lowercase_ascii column)
+         | Algebra.Registry.Derived _ -> None
+         | exception Invalid_argument _ -> None)
+      ids
+    |> List.sort_uniq compare
+
+  (** Optimize and execute one statement under the fault plan, appending
+      the harvested per-operator observations to the driver's log. A node
+      crash decommissions and re-optimizes on the survivors (PR 4's
+      replan); raises {!Fault.Exhausted} past the budgets. *)
+  let run ?(obs = Obs.null) (t : t) (sql : string) : Opdw.result * Engine.Local.rset =
+    let rec go replans =
+      Engine.Appliance.set_fault t.app t.fault;
+      let r =
+        Opdw.optimize ~obs ~options:t.options ?cache:t.cache
+          ~live_nodes:(Engine.Appliance.live_nodes t.app)
+          ~topology:t.app.Engine.Appliance.epoch
+          ~pool:t.app.Engine.Appliance.pool t.shell sql
+      in
+      let samples = ref [] in
+      Engine.Appliance.set_harvest t.app (Some samples);
+      let sim0 = t.app.Engine.Appliance.account.Engine.Appliance.sim_time in
+      let wall0 = Obs.default_clock () in
+      match
+        Fun.protect
+          ~finally:(fun () -> Engine.Appliance.set_harvest t.app None)
+          (fun () -> Opdw.run ~obs ?cache:t.cache t.app r)
+      with
+      | rows ->
+        let reg = r.Opdw.memo.Memo.reg in
+        let ops =
+          List.rev_map
+            (fun (s : Engine.Appliance.op_sample) ->
+               { Feedback.Log.o_group = s.Engine.Appliance.h_group;
+                 o_op = s.Engine.Appliance.h_op;
+                 o_table = Option.map String.lowercase_ascii s.Engine.Appliance.h_table;
+                 o_cols = cols_of_ids reg s.Engine.Appliance.h_cols;
+                 o_est = s.Engine.Appliance.h_est;
+                 o_actual = s.Engine.Appliance.h_actual })
+            !samples
+        in
+        Feedback.Log.append t.log
+          { Feedback.Log.r_statement = Opdw.Feedback.statement_key sql;
+            r_fingerprint = Option.value r.Opdw.fingerprint ~default:"";
+            r_ops = ops;
+            r_dms = [];  (* λ re-fitting is the Feedback driver's job *)
+            r_sim = t.app.Engine.Appliance.account.Engine.Appliance.sim_time -. sim0;
+            r_wall = Obs.default_clock () -. wall0;
+            r_degraded = r.Opdw.degraded <> None };
+        (r, rows)
+      | exception Fault.Injected ({ Fault.site = Fault.Node_crash; _ } as failure) ->
+        if nodes t <= 1 || replans >= t.max_replans then
+          raise (Fault.Exhausted { failure; attempts = replans + 1 });
+        Obs.add obs "fault.replan_statements" 1;
+        Engine.Appliance.set_obs t.app obs;
+        let app' = Engine.Appliance.decommission t.app ~node:failure.Fault.node in
+        Engine.Appliance.set_obs t.app Obs.null;
+        Engine.Appliance.set_obs app' Obs.null;
+        install t app';
+        go (replans + 1)
+    in
+    go 0
+
+  (* drive one phased move to completion: copy steps interleaved with the
+     [between] callback (which serves statements against the old layout),
+     commit at the flip. A node crash — inside a copy step, or under a
+     statement served by [between] (detected as the driver's appliance
+     changing) — aborts the half-built target, composes with
+     decommission, and rebuilds the move on the survivors. *)
+  let phased ?(obs = Obs.null) ?(between = fun () -> ()) (t : t)
+      (mk : Engine.Appliance.t -> Engine.Appliance.move) : unit =
+    let rec attempt replans =
+      Engine.Appliance.set_fault t.app t.fault;
+      let src = t.app in
+      let m = mk src in
+      let outcome =
+        try
+          let rec drive () =
+            if m.Engine.Appliance.m_pending = [] then `Done
+            else begin
+              Engine.Appliance.copy_step m;
+              between ();
+              if t.app != src then `Replanned_under_us else drive ()
+            end
+          in
+          drive ()
+        with Fault.Injected ({ Fault.site = Fault.Node_crash; _ } as failure) ->
+          `Crashed failure
+      in
+      match outcome with
+      | `Done ->
+        (* read the accrued cost before the flip consumes the move; the
+           appliance's own obs is reset to null around every served
+           statement, so the driver's obs carries the topology counters *)
+        let seconds = m.Engine.Appliance.m_seconds in
+        let app' = Engine.Appliance.flip_move m in
+        install t app';
+        Obs.add obs "topology.applied_moves" 1;
+        Obs.addf obs "topology.move_seconds" seconds
+      | `Replanned_under_us ->
+        (* a served statement crashed a node and replanned: the target was
+           built against the dead topology — drop it and start over *)
+        Engine.Appliance.abort_move m;
+        Obs.add obs "topology.aborted_moves" 1;
+        if replans >= t.max_replans then
+          raise
+            (Fault.Exhausted
+               { failure =
+                   { Fault.site = Fault.Node_crash;
+                     epoch = src.Engine.Appliance.epoch; step = -1; node = -1 };
+                 attempts = replans + 1 });
+        attempt (replans + 1)
+      | `Crashed failure ->
+        Engine.Appliance.abort_move m;
+        Obs.add obs "topology.aborted_moves" 1;
+        if nodes t <= 1 || replans >= t.max_replans then
+          raise (Fault.Exhausted { failure; attempts = replans + 1 });
+        Engine.Appliance.set_obs t.app obs;
+        let app' = Engine.Appliance.decommission t.app ~node:failure.Fault.node in
+        Engine.Appliance.set_obs t.app Obs.null;
+        Engine.Appliance.set_obs app' Obs.null;
+        install t app';
+        attempt (replans + 1)
+    in
+    attempt 0
+
+  (** Grow the appliance online to [nodes] compute nodes. [between] runs
+      after every copy step (serve statements there — they execute against
+      the old layout until the flip, so availability stays 1.0). *)
+  let grow ?obs ?between (t : t) ~(nodes : int) : unit =
+    phased ?obs ?between t (fun (app : Engine.Appliance.t) ->
+        if nodes <= app.Engine.Appliance.nodes then
+          invalid_arg "Topology.Elastic.grow: node count must grow";
+        let next = 1 + List.fold_left max (-1) app.Engine.Appliance.live in
+        let live =
+          app.Engine.Appliance.live
+          @ List.init (nodes - app.Engine.Appliance.nodes) (fun i -> next + i)
+        in
+        Engine.Appliance.begin_move app ~node_count:nodes ~live
+          ~dist_of:(fun tbl -> tbl.Catalog.Shell_db.dist))
+
+  (** Re-key [table] online to hash-partitioning on [cols]. *)
+  let redistribute ?obs ?between (t : t) ~(table : string) ~(cols : string list) : unit =
+    let key = String.lowercase_ascii table in
+    phased ?obs ?between t (fun (app : Engine.Appliance.t) ->
+        ignore (Catalog.Shell_db.find_exn app.Engine.Appliance.shell table);
+        Engine.Appliance.begin_move app
+          ~node_count:app.Engine.Appliance.nodes ~live:app.Engine.Appliance.live
+          ~dist_of:(fun (x : Catalog.Shell_db.table) ->
+              if String.lowercase_ascii x.Catalog.Shell_db.schema.Catalog.Schema.name = key
+              then Catalog.Distribution.Hash_partitioned cols
+              else x.Catalog.Shell_db.dist))
+
+  (** Run the advisor over everything this driver has served so far. *)
+  let advise ?max_tables (t : t) : Advisor.advice =
+    Advisor.advise ?max_tables ~options:t.options t.shell t.log
+
+  (** Apply the advice's accepted proposals as online re-key moves, in
+      acceptance order. *)
+  let apply ?obs ?between (t : t) (a : Advisor.advice) : unit =
+    List.iter
+      (fun (p : Advisor.proposal) ->
+         redistribute ?obs ?between t ~table:p.Advisor.p_table ~cols:p.Advisor.p_cols)
+      a.Advisor.a_proposals
+end

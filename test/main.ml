@@ -28,4 +28,5 @@ let () =
       ("fault", Test_fault.suite);
       ("governor", Test_governor.suite);
       ("analysis", Test_analysis.suite);
-      ("feedback", Test_feedback.suite) ]
+      ("feedback", Test_feedback.suite);
+      ("topology", Test_topology.suite) ]
